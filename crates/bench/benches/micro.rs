@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the simulator's hot paths: the interpreted `bcopy`,
+//! CRC32 checksumming, registry entry updates, and the warm-reboot scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rio_core::{EntryFlags, ProtectionManager, Registry, RegistryEntry, RioMode};
+use rio_cpu::{Cpu, KernelRoutines, Reg, RoutineStore};
+use rio_mem::{crc32, MemBus, MemConfig, PageNum};
+
+fn bench_interpreted_bcopy(c: &mut Criterion) {
+    let mut bus = MemBus::new(MemConfig::small());
+    let mut store = RoutineStore::new(bus.layout().text);
+    let routines = KernelRoutines::install_all(&mut bus, &mut store).unwrap();
+    let src = bus.layout().heap.start + 8192;
+    let dst = bus.layout().ubc.start;
+    let mut cpu = Cpu::new();
+    let mut group = c.benchmark_group("interpreter");
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("bcopy_8k", |b| {
+        b.iter(|| {
+            cpu.set_reg(Reg(1), src);
+            cpu.set_reg(Reg(2), dst);
+            cpu.set_reg(Reg(3), 8192);
+            cpu.run(&mut bus, &store, routines.bcopy, 100_000)
+        });
+    });
+    group.finish();
+}
+
+fn bench_crc32_page(c: &mut Criterion) {
+    let page = vec![0xA7u8; 8192];
+    let mut group = c.benchmark_group("checksum");
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("crc32_8k", |b| b.iter(|| crc32(&page)));
+    group.finish();
+}
+
+fn bench_registry_update(c: &mut Criterion) {
+    let mut bus = MemBus::new(MemConfig::small());
+    let registry = Registry::new(*bus.layout());
+    let mut prot = ProtectionManager::new(RioMode::Protected);
+    prot.install(&mut bus);
+    let entry = RegistryEntry {
+        flags: EntryFlags::VALID | EntryFlags::DIRTY,
+        phys_page: registry.page_for_slot(3).0 as u32,
+        dev: 1,
+        ino: 9,
+        offset: 0,
+        size: 8192,
+        crc: 0x1234,
+    };
+    c.bench_function("registry_write_entry", |b| {
+        b.iter(|| registry.write_entry(&mut bus, &mut prot, 3, &entry).unwrap());
+    });
+}
+
+fn bench_warm_reboot_scan(c: &mut Criterion) {
+    // An image with every UBC page registered dirty: the scan's worst case.
+    let mut bus = MemBus::new(MemConfig::small());
+    let registry = Registry::new(*bus.layout());
+    let mut prot = ProtectionManager::new(RioMode::Unprotected);
+    prot.install(&mut bus);
+    for slot in 0..registry.num_entries() {
+        let page = registry.page_for_slot(slot);
+        let mut e = RegistryEntry {
+            flags: EntryFlags::VALID | EntryFlags::DIRTY,
+            phys_page: page.0 as u32,
+            dev: 1,
+            ino: slot,
+            offset: 0,
+            size: 8192,
+            crc: 0,
+        };
+        registry.update_crc(&mut bus, &mut prot, slot, &mut e).unwrap();
+    }
+    let image = bus.into_image();
+    let pages = registry.num_entries();
+    let mut group = c.benchmark_group("warm_reboot");
+    group.throughput(Throughput::Elements(pages));
+    group.bench_function("scan_registry_full", |b| {
+        b.iter(|| rio_core::warm::scan_registry(&image));
+    });
+    group.finish();
+    let _ = PageNum(0);
+}
+
+criterion_group!(
+    benches,
+    bench_interpreted_bcopy,
+    bench_crc32_page,
+    bench_registry_update,
+    bench_warm_reboot_scan,
+    debitcredit_bench::bench_commit_paths
+);
+criterion_main!(benches);
+
+// Appended: the §7 transaction-processing bench (debit/credit commits per
+// policy — the "order of magnitude for synchronous semantics" claim).
+#[allow(dead_code)]
+mod debitcredit_bench {
+    use criterion::{BenchmarkId, Criterion};
+    use rio_core::RioMode;
+    use rio_kernel::{Kernel, KernelConfig, Policy};
+    use rio_workloads::{DebitCredit, DebitCreditConfig};
+
+    pub fn bench_commit_paths(c: &mut Criterion) {
+        let mut group = c.benchmark_group("debit_credit_commits");
+        group.sample_size(10);
+        for policy in [Policy::rio(RioMode::Protected), Policy::disk_write_through()] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(&policy.name),
+                &policy,
+                |b, policy| {
+                    b.iter(|| {
+                        let mut k =
+                            Kernel::mkfs_and_mount(&KernelConfig::small(policy.clone())).unwrap();
+                        let mut db = DebitCredit::new(DebitCreditConfig {
+                            transactions: 20,
+                            accounts: 64,
+                            ..DebitCreditConfig::small(3)
+                        });
+                        db.setup(&mut k).unwrap();
+                        db.run(&mut k).unwrap()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}

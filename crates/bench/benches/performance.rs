@@ -1,0 +1,44 @@
+//! Criterion bench behind Table 2: per-configuration workload cost.
+//!
+//! Criterion measures *host* time here; the simulated seconds the paper
+//! reports come from `--bin table2`. Host time per configuration is a
+//! useful proxy for the amount of simulated machinery each policy
+//! exercises, and it keeps the whole Table 2 pipeline under a benchmark
+//! harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rio_baselines::table2_policies;
+use rio_kernel::{Kernel, KernelConfig};
+use rio_workloads::{CpRm, CpRmConfig};
+
+fn tiny_cprm() -> CpRmConfig {
+    CpRmConfig {
+        dirs: 2,
+        files_per_dir: 6,
+        ..CpRmConfig::small(42)
+    }
+}
+
+fn bench_cprm_per_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_cprm");
+    group.sample_size(10);
+    for policy in table2_policies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&policy.name),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut k =
+                        Kernel::mkfs_and_mount(&KernelConfig::small(policy.clone())).unwrap();
+                    let w = CpRm::new(tiny_cprm());
+                    w.setup(&mut k).unwrap();
+                    w.run(&mut k).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cprm_per_policy);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench behind the §4 overhead claim and the §2.1 code-patching
+//! ablation: the same write loop under all three Rio protection modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rio_core::RioMode;
+use rio_kernel::{Kernel, KernelConfig, Policy};
+
+fn write_loop(mode: RioMode) -> u64 {
+    let mut k = Kernel::mkfs_and_mount(&KernelConfig::small(Policy::rio(mode))).unwrap();
+    let data = vec![0x3Cu8; 8192];
+    let fd = k.create("/loop").unwrap();
+    for _ in 0..16 {
+        k.write(fd, &data).unwrap();
+    }
+    k.close(fd).unwrap();
+    k.machine.clock.now().as_micros()
+}
+
+fn bench_protection_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protection_modes");
+    group.sample_size(20);
+    for mode in [
+        RioMode::Unprotected,
+        RioMode::Protected,
+        RioMode::CodePatched,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| write_loop(mode));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protection_modes);
+criterion_main!(benches);

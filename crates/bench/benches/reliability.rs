@@ -1,0 +1,57 @@
+//! Criterion bench behind Table 1: one full crash trial (boot → warm up →
+//! inject → crash → reboot → verify) per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rio_faults::{run_trial, FaultType, SystemKind};
+
+fn bench_trial_per_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_trial");
+    group.sample_size(10);
+    for system in SystemKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, &system| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_trial(system, FaultType::CopyOverrun, seed, 25, 250)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    use rio_core::RioMode;
+    use rio_kernel::{Kernel, KernelConfig, Policy};
+    let mut group = c.benchmark_group("fault_injection");
+    group.sample_size(20);
+    for fault in [
+        FaultType::KernelText,
+        FaultType::Pointer,
+        FaultType::DeleteBranch,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fault.label()),
+            &fault,
+            |b, &fault| {
+                use rand::SeedableRng;
+                b.iter(|| {
+                    let mut k = Kernel::mkfs_and_mount(&KernelConfig::small(Policy::rio(
+                        RioMode::Unprotected,
+                    )))
+                    .unwrap();
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+                    rio_faults::inject(&mut k, fault, &mut rng);
+                    k
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trial_per_system, bench_fault_injection);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! The protection-overhead study (§2.1 / §4 / §6 claims).
+//!
+//! ```text
+//! cargo run --release -p rio-bench --bin overhead
+//! ```
+
+use rio_bench::env_u64;
+use rio_harness::overhead::{render_overhead, run_overhead_study};
+
+fn main() {
+    let files = env_u64("RIO_FILES", 16) as usize;
+    let writes = env_u64("RIO_WRITES", 16) as usize;
+    let report = run_overhead_study(files, writes);
+    println!("{}", render_overhead(&report));
+}

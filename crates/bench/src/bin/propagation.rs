@@ -1,0 +1,18 @@
+//! The fault-propagation study (§3.3 footnote 2 future work, implemented).
+//!
+//! ```text
+//! RIO_TRIALS=10 cargo run --release -p rio-bench --bin propagation
+//! ```
+
+use rio_bench::env_u64;
+use rio_faults::SystemKind;
+use rio_harness::{render_propagation, run_propagation};
+
+fn main() {
+    let trials = env_u64("RIO_TRIALS", 10);
+    let seed = env_u64("RIO_SEED", 1996);
+    for system in SystemKind::ALL {
+        let rows = run_propagation(system, trials, seed);
+        println!("{}", render_propagation(system, &rows));
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 2 (performance) — see DESIGN.md experiment index.
+//!
+//! ```text
+//! RIO_SEED=1996 cargo run --release -p rio-bench --bin table2
+//! ```
+
+use rio_bench::env_u64;
+use rio_harness::table2::Table2Scale;
+use rio_harness::{render_table2, run_table2};
+
+fn main() {
+    let seed = env_u64("RIO_SEED", 1996);
+    eprintln!("running cp+rm / Sdet / Andrew across 8 configurations (seed {seed})...");
+    let started = std::time::Instant::now();
+    let report = run_table2(&Table2Scale::small(seed));
+    eprintln!("done in {:.1}s\n", started.elapsed().as_secs_f64());
+    println!("{}", render_table2(&report));
+}

@@ -1,0 +1,43 @@
+//! Benchmark harness and table-regeneration binaries.
+//!
+//! Binaries (run with `cargo run -p rio-bench --release --bin <name>`):
+//!
+//! * `table1` — regenerates the paper's Table 1 (reliability). Scale with
+//!   `RIO_TRIALS` (crashes per cell, default 50), `RIO_SEED`,
+//!   `RIO_THREADS`.
+//! * `table2` — regenerates Table 2 (performance) plus the headline
+//!   ratios. `RIO_SEED` selects workload seeds.
+//! * `overhead` — the protection / code-patching overhead study.
+//!
+//! Criterion benches (`cargo bench -p rio-bench`):
+//!
+//! * `performance` — per-configuration workload timing (host time; the
+//!   simulated Table 2 numbers come from the binaries).
+//! * `reliability` — cost of a single crash-inject-reboot-verify trial.
+//! * `protection_overhead` — the write loop under the three Rio modes.
+//! * `micro` — interpreted `bcopy`, CRC32, registry update, warm-reboot
+//!   scan.
+
+/// Reads a `u64` configuration value from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_u64_parses_and_defaults() {
+        std::env::remove_var("RIO_TEST_KNOB_XYZ");
+        assert_eq!(env_u64("RIO_TEST_KNOB_XYZ", 7), 7);
+        std::env::set_var("RIO_TEST_KNOB_XYZ", "42");
+        assert_eq!(env_u64("RIO_TEST_KNOB_XYZ", 7), 42);
+        std::env::set_var("RIO_TEST_KNOB_XYZ", "junk");
+        assert_eq!(env_u64("RIO_TEST_KNOB_XYZ", 7), 7);
+        std::env::remove_var("RIO_TEST_KNOB_XYZ");
+    }
+}

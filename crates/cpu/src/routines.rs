@@ -1,0 +1,446 @@
+//! Kernel-text management and the standard data-path routines.
+//!
+//! [`RoutineStore`] owns the kernel text region: routines are assembled once
+//! at "boot" and their encoded instructions written into simulated memory,
+//! where they are exposed to text-targeting faults for the rest of the run.
+//! [`KernelRoutines`] installs the four routines every kernel build uses:
+//! `bcopy`, `bzero`, `bcmp`, and `fill_pattern`.
+
+use crate::asm::{AsmError, Assembler};
+use crate::interp::{Cpu, RunResult};
+use crate::isa::{DecodeError, Instr, Reg, INSTR_BYTES};
+use rio_mem::{MemBus, PhysMem, Region};
+
+/// Identifies an installed routine: where it starts and how long it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoutineHandle {
+    /// Absolute index of the routine's first instruction in kernel text.
+    pub first_index: u64,
+    /// Length in instructions.
+    pub len: u64,
+}
+
+impl RoutineHandle {
+    /// Whether the absolute instruction index belongs to this routine.
+    pub fn contains(&self, index: u64) -> bool {
+        index >= self.first_index && index < self.first_index + self.len
+    }
+}
+
+/// Errors installing a routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// Kernel text region is full.
+    TextFull,
+    /// The routine failed to assemble.
+    Asm(AsmError),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::TextFull => f.write_str("kernel text region full"),
+            InstallError::Asm(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<AsmError> for InstallError {
+    fn from(e: AsmError) -> Self {
+        InstallError::Asm(e)
+    }
+}
+
+/// Owns the kernel text region and the directory of installed routines.
+#[derive(Debug, Clone)]
+pub struct RoutineStore {
+    text: Region,
+    installed: u64,
+    names: Vec<(String, RoutineHandle)>,
+}
+
+impl RoutineStore {
+    /// A store over the given text region with nothing installed.
+    pub fn new(text: Region) -> Self {
+        RoutineStore {
+            text,
+            installed: 0,
+            names: Vec::new(),
+        }
+    }
+
+    /// First byte address of kernel text.
+    pub fn text_base(&self) -> u64 {
+        self.text.start
+    }
+
+    /// Number of instructions installed so far (the valid PC range is
+    /// `0..installed_instrs()`).
+    pub fn installed_instrs(&self) -> u64 {
+        self.installed
+    }
+
+    /// Byte address of the instruction at an absolute index.
+    pub fn instr_addr(&self, index: u64) -> u64 {
+        self.text.start + index * INSTR_BYTES
+    }
+
+    /// Assembles and installs a routine, writing its encoding into text.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::Asm`] if assembly fails, [`InstallError::TextFull`]
+    /// if the text region cannot hold the routine.
+    pub fn install(
+        &mut self,
+        bus: &mut MemBus,
+        name: &str,
+        asm: Assembler,
+    ) -> Result<RoutineHandle, InstallError> {
+        let code = asm.assemble()?;
+        let needed = code.len() as u64 * INSTR_BYTES;
+        let offset = self.installed * INSTR_BYTES;
+        if offset + needed > self.text.len() {
+            return Err(InstallError::TextFull);
+        }
+        let handle = RoutineHandle {
+            first_index: self.installed,
+            len: code.len() as u64,
+        };
+        for (i, instr) in code.iter().enumerate() {
+            let addr = self.instr_addr(handle.first_index + i as u64);
+            bus.mem_mut().write_bytes(addr, &instr.encode());
+        }
+        self.installed += code.len() as u64;
+        self.names.push((name.to_owned(), handle));
+        Ok(handle)
+    }
+
+    /// Looks up an installed routine by name.
+    pub fn find(&self, name: &str) -> Option<RoutineHandle> {
+        self.names
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| *h)
+    }
+
+    /// Installed routines in installation order.
+    pub fn routines(&self) -> impl Iterator<Item = (&str, RoutineHandle)> {
+        self.names.iter().map(|(n, h)| (n.as_str(), *h))
+    }
+
+    /// Decodes the instruction currently stored at an absolute index
+    /// (which may be corrupted and fail to decode).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the stored bytes are not a valid instruction.
+    pub fn read_instr(&self, mem: &PhysMem, index: u64) -> Result<Instr, DecodeError> {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(mem.slice(self.instr_addr(index), INSTR_BYTES));
+        Instr::decode(raw)
+    }
+
+    /// Overwrites the instruction at an absolute index — the primitive the
+    /// instruction-level fault models use.
+    pub fn patch_instr(&self, mem: &mut PhysMem, index: u64, instr: Instr) {
+        mem.write_bytes(self.instr_addr(index), &instr.encode());
+    }
+}
+
+/// Handles for the standard kernel data-path routines.
+///
+/// Register ABI: arguments in `r1..r4`, result in `r10`, scratch `r11..r15`.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRoutines {
+    /// `bcopy(r1=src, r2=dst, r3=len)` — byte copy, 8 bytes at a time.
+    pub bcopy: RoutineHandle,
+    /// `bzero(r1=dst, r2=len)` — zero fill.
+    pub bzero: RoutineHandle,
+    /// `bcmp(r1=a, r2=b, r3=len) -> r10` — 0 if equal, 1 if different.
+    pub bcmp: RoutineHandle,
+    /// `fill_pattern(r1=dst, r2=len, r3=seed)` — xorshift pattern fill.
+    pub fill_pattern: RoutineHandle,
+}
+
+impl KernelRoutines {
+    /// Assembles and installs all standard routines into kernel text.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError`] if text is too small (never with default configs).
+    pub fn install_all(bus: &mut MemBus, store: &mut RoutineStore) -> Result<Self, InstallError> {
+        Ok(KernelRoutines {
+            bcopy: store.install(bus, "bcopy", Self::asm_bcopy())?,
+            bzero: store.install(bus, "bzero", Self::asm_bzero())?,
+            bcmp: store.install(bus, "bcmp", Self::asm_bcmp())?,
+            fill_pattern: store.install(bus, "fill_pattern", Self::asm_fill_pattern())?,
+        })
+    }
+
+    /// `bcopy`: copy `r3` bytes from `r1` to `r2`.
+    fn asm_bcopy() -> Assembler {
+        let (src, dst, len) = (Reg(1), Reg(2), Reg(3));
+        let (data, rem, eight) = (Reg(11), Reg(12), Reg(13));
+        let mut a = Assembler::new();
+        // Initialization prologue (the "initialization" fault deletes these).
+        a.mov(rem, len);
+        a.li(eight, 8);
+        a.bind_name("wide");
+        a.bltu(rem, eight, "tail");
+        a.ld64(data, src, 0);
+        a.st64(dst, 0, data);
+        a.addi(src, src, 8);
+        a.addi(dst, dst, 8);
+        a.addi(rem, rem, -8);
+        a.jmp("wide");
+        a.bind_name("tail");
+        a.beq(rem, Reg::ZERO, "done");
+        a.ld8(data, src, 0);
+        a.st8(dst, 0, data);
+        a.addi(src, src, 1);
+        a.addi(dst, dst, 1);
+        a.addi(rem, rem, -1);
+        a.jmp("tail");
+        a.bind_name("done");
+        a.halt();
+        a
+    }
+
+    /// `bzero`: zero `r2` bytes at `r1`.
+    fn asm_bzero() -> Assembler {
+        let (dst, len) = (Reg(1), Reg(2));
+        let eight = Reg(13);
+        let mut a = Assembler::new();
+        a.li(eight, 8);
+        a.bind_name("wide");
+        a.bltu(len, eight, "tail");
+        a.st64(dst, 0, Reg::ZERO);
+        a.addi(dst, dst, 8);
+        a.addi(len, len, -8);
+        a.jmp("wide");
+        a.bind_name("tail");
+        a.beq(len, Reg::ZERO, "done");
+        a.st8(dst, 0, Reg::ZERO);
+        a.addi(dst, dst, 1);
+        a.addi(len, len, -1);
+        a.jmp("tail");
+        a.bind_name("done");
+        a.halt();
+        a
+    }
+
+    /// `bcmp`: compare `r3` bytes at `r1` and `r2`; `r10 = 0` iff equal.
+    fn asm_bcmp() -> Assembler {
+        let (pa, pb, len, res) = (Reg(1), Reg(2), Reg(3), Reg(10));
+        let (da, db) = (Reg(11), Reg(12));
+        let mut a = Assembler::new();
+        a.li(res, 0);
+        a.bind_name("loop");
+        a.beq(len, Reg::ZERO, "done");
+        a.ld8(da, pa, 0);
+        a.ld8(db, pb, 0);
+        a.bne(da, db, "diff");
+        a.addi(pa, pa, 1);
+        a.addi(pb, pb, 1);
+        a.addi(len, len, -1);
+        a.jmp("loop");
+        a.bind_name("diff");
+        a.li(res, 1);
+        a.bind_name("done");
+        a.halt();
+        a
+    }
+
+    /// `fill_pattern`: xorshift64-derived byte stream from seed `r3`.
+    fn asm_fill_pattern() -> Assembler {
+        let (dst, len, state) = (Reg(1), Reg(2), Reg(3));
+        let tmp = Reg(11);
+        let mut a = Assembler::new();
+        a.bind_name("loop");
+        a.beq(len, Reg::ZERO, "done");
+        // xorshift64: s ^= s<<13; s ^= s>>7; s ^= s<<17
+        a.shli(tmp, state, 13);
+        a.xor(state, state, tmp);
+        a.shri(tmp, state, 7);
+        a.xor(state, state, tmp);
+        a.shli(tmp, state, 17);
+        a.xor(state, state, tmp);
+        a.st8(dst, 0, state);
+        a.addi(dst, dst, 1);
+        a.addi(len, len, -1);
+        a.jmp("loop");
+        a.bind_name("done");
+        a.halt();
+        a
+    }
+}
+
+/// Runs `bcopy` with the given physical/KSEG-tagged addresses.
+///
+/// Convenience wrapper used by the kernel; returns the raw [`RunResult`] so
+/// callers can charge CPU time and convert panics into kernel crashes.
+#[allow(clippy::too_many_arguments)] // mirrors the routine's register ABI
+pub fn run_bcopy(
+    cpu: &mut Cpu,
+    bus: &mut MemBus,
+    store: &RoutineStore,
+    routines: &KernelRoutines,
+    src: u64,
+    dst: u64,
+    len: u64,
+    step_limit: u64,
+) -> RunResult {
+    cpu.set_reg(Reg(1), src);
+    cpu.set_reg(Reg(2), dst);
+    cpu.set_reg(Reg(3), len);
+    cpu.run(bus, store, routines.bcopy, step_limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_mem::{AddrKind, MemConfig};
+
+    fn machine() -> (MemBus, RoutineStore, KernelRoutines, Cpu) {
+        let mut bus = MemBus::new(MemConfig::small());
+        let mut store = RoutineStore::new(bus.layout().text);
+        let routines = KernelRoutines::install_all(&mut bus, &mut store).unwrap();
+        (bus, store, routines, Cpu::new())
+    }
+
+    #[test]
+    fn bcopy_copies_exactly() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let src = bus.layout().heap.start;
+        let dst = bus.layout().ubc.start;
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 % 251) as u8).collect();
+        bus.store_bytes(AddrKind::Virtual, src, &data).unwrap();
+        let res = run_bcopy(&mut cpu, &mut bus, &store, &r, src, dst, 1000, 100_000);
+        assert!(res.is_done());
+        assert_eq!(bus.mem().slice(dst, 1000), &data[..]);
+        // Byte after the copy untouched.
+        assert_eq!(bus.mem().read_u8(dst + 1000), 0);
+    }
+
+    #[test]
+    fn bcopy_zero_length_is_a_noop() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let dst = bus.layout().ubc.start;
+        let res = run_bcopy(&mut cpu, &mut bus, &store, &r, 0, dst, 0, 1000);
+        assert!(res.is_done());
+        assert_eq!(bus.mem().read_u8(dst), 0);
+    }
+
+    #[test]
+    fn bzero_clears() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let dst = bus.layout().heap.start + 100;
+        bus.mem_mut().fill(dst, 50, 0xFF);
+        cpu.set_reg(Reg(1), dst);
+        cpu.set_reg(Reg(2), 37);
+        let res = cpu.run(&mut bus, &store, r.bzero, 10_000);
+        assert!(res.is_done());
+        assert!(bus.mem().slice(dst, 37).iter().all(|&b| b == 0));
+        assert_eq!(bus.mem().read_u8(dst + 37), 0xFF);
+    }
+
+    #[test]
+    fn bcmp_detects_equality_and_difference() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let a = bus.layout().heap.start;
+        let b = a + 4096;
+        bus.mem_mut().write_bytes(a, b"identical bytes!");
+        bus.mem_mut().write_bytes(b, b"identical bytes!");
+        cpu.set_reg(Reg(1), a);
+        cpu.set_reg(Reg(2), b);
+        cpu.set_reg(Reg(3), 16);
+        assert!(cpu.run(&mut bus, &store, r.bcmp, 10_000).is_done());
+        assert_eq!(cpu.reg(Reg(10)), 0);
+        bus.mem_mut().write_u8(b + 7, b'X');
+        cpu.set_reg(Reg(1), a);
+        cpu.set_reg(Reg(2), b);
+        cpu.set_reg(Reg(3), 16);
+        assert!(cpu.run(&mut bus, &store, r.bcmp, 10_000).is_done());
+        assert_eq!(cpu.reg(Reg(10)), 1);
+    }
+
+    #[test]
+    fn fill_pattern_is_deterministic_and_seed_sensitive() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let d1 = bus.layout().heap.start;
+        let d2 = d1 + 8192;
+        for (dst, seed) in [(d1, 42u64), (d2, 42u64)] {
+            cpu.set_reg(Reg(1), dst);
+            cpu.set_reg(Reg(2), 256);
+            cpu.set_reg(Reg(3), seed);
+            assert!(cpu.run(&mut bus, &store, r.fill_pattern, 100_000).is_done());
+        }
+        assert_eq!(bus.mem().slice(d1, 256), bus.mem().slice(d2, 256));
+        cpu.set_reg(Reg(1), d2);
+        cpu.set_reg(Reg(2), 256);
+        cpu.set_reg(Reg(3), 43);
+        assert!(cpu.run(&mut bus, &store, r.fill_pattern, 100_000).is_done());
+        assert_ne!(bus.mem().slice(d1, 256), bus.mem().slice(d2, 256));
+    }
+
+    #[test]
+    fn routines_are_found_by_name() {
+        let (mut bus, mut store) = {
+            let bus = MemBus::new(MemConfig::small());
+            let store = RoutineStore::new(bus.layout().text);
+            (bus, store)
+        };
+        let r = KernelRoutines::install_all(&mut bus, &mut store).unwrap();
+        assert_eq!(store.find("bcopy"), Some(r.bcopy));
+        assert_eq!(store.find("missing"), None);
+        assert_eq!(store.routines().count(), 4);
+    }
+
+    #[test]
+    fn handles_do_not_overlap() {
+        let (_, store, r, _) = machine();
+        let hs = [r.bcopy, r.bzero, r.bcmp, r.fill_pattern];
+        for (i, a) in hs.iter().enumerate() {
+            for b in &hs[i + 1..] {
+                assert!(
+                    a.first_index + a.len <= b.first_index
+                        || b.first_index + b.len <= a.first_index
+                );
+            }
+        }
+        assert_eq!(store.installed_instrs(), hs.iter().map(|h| h.len).sum::<u64>());
+    }
+
+    #[test]
+    fn read_and_patch_instr_round_trip() {
+        let (mut bus, store, r, _) = machine();
+        let idx = r.bcopy.first_index;
+        let orig = store.read_instr(bus.mem(), idx).unwrap();
+        store.patch_instr(bus.mem_mut(), idx, Instr::nop());
+        let now = store.read_instr(bus.mem(), idx).unwrap();
+        assert_eq!(now, Instr::nop());
+        assert_ne!(orig, now);
+    }
+
+    #[test]
+    fn text_full_is_reported() {
+        let bus = MemBus::new(MemConfig::small());
+        let tiny = Region {
+            start: bus.layout().text.start,
+            end: bus.layout().text.start + 16, // two instructions
+        };
+        let mut bus = bus;
+        let mut store = RoutineStore::new(tiny);
+        let mut asm = Assembler::new();
+        asm.nop();
+        asm.nop();
+        asm.halt();
+        assert_eq!(
+            store.install(&mut bus, "big", asm),
+            Err(InstallError::TextFull)
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! The simulated disk: a block store with a FIFO request queue, asynchronous
+//! writes, and torn-write crash semantics.
+
+use crate::model::{DiskModel, Positioning};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Disk block size in bytes — one 8 KB page, matching the file cache.
+pub const BLOCK_SIZE: usize = 8192;
+
+/// One asynchronous write making its way to the platter.
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    block: u64,
+    data: Vec<u8>,
+    /// When the head starts writing this request.
+    start: SimTime,
+    /// When the request is durable.
+    end: SimTime,
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Submitted write requests.
+    pub writes: u64,
+    /// Bytes written (submitted).
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Writes lost (never started) at a crash.
+    pub writes_lost_at_crash: u64,
+    /// Blocks torn (mid-write) at a crash.
+    pub blocks_torn_at_crash: u64,
+}
+
+/// The simulated drive.
+///
+/// All operations take the current simulated time `now`; the disk tracks
+/// when its head frees up and returns per-request completion times, so
+/// callers can model both synchronous waiting (block until completion) and
+/// asynchronous overlap (proceed, let the queue drain).
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    model: DiskModel,
+    blocks: Vec<Vec<u8>>,
+    /// Blocks corrupted by a mid-write crash; cleared when rewritten.
+    torn: Vec<bool>,
+    pending: VecDeque<PendingWrite>,
+    /// When the head finishes its last accepted request.
+    busy_until: SimTime,
+    /// Block number of the last request (sequential detection).
+    last_block: Option<u64>,
+    stats: DiskStats,
+}
+
+impl SimDisk {
+    /// A disk with `num_blocks` zeroed blocks.
+    pub fn new(num_blocks: u64, model: DiskModel) -> Self {
+        SimDisk {
+            model,
+            blocks: vec![vec![0u8; BLOCK_SIZE]; num_blocks as usize],
+            torn: vec![false; num_blocks as usize],
+            pending: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            last_block: None,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Operation counters so far.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The service model in use.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    /// When the queue fully drains (≥ `now`).
+    pub fn idle_at(&self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    /// Number of writes still in the queue at `now`.
+    pub fn queue_depth(&mut self, now: SimTime) -> usize {
+        self.apply_completed(now);
+        self.pending.len()
+    }
+
+    /// Applies every pending write whose completion time has passed.
+    fn apply_completed(&mut self, now: SimTime) {
+        while let Some(front) = self.pending.front() {
+            if front.end <= now {
+                let w = self.pending.pop_front().expect("front exists");
+                self.blocks[w.block as usize] = w.data;
+                self.torn[w.block as usize] = false;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Positioning class for the next access to `block`.
+    fn positioning(&self, block: u64, force_sequential: bool) -> Positioning {
+        if force_sequential || self.last_block == Some(block.wrapping_sub(1)) {
+            Positioning::Sequential
+        } else if self.last_block == Some(block) {
+            // Rewriting the block just accessed: no seek, but the platter
+            // must come all the way around again.
+            Positioning::SameBlock
+        } else {
+            Positioning::Random
+        }
+    }
+
+    /// Submits an asynchronous block write; returns its completion time.
+    ///
+    /// `force_sequential` marks the request as part of a sequential stream
+    /// regardless of head position (journal appends batch this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range or `data` is not [`BLOCK_SIZE`]
+    /// bytes — the kernel's device driver only issues whole valid blocks,
+    /// so a violation is a simulator bug, not a simulated fault.
+    pub fn submit_write(
+        &mut self,
+        block: u64,
+        data: Vec<u8>,
+        now: SimTime,
+        force_sequential: bool,
+    ) -> SimTime {
+        assert!(block < self.num_blocks(), "block {block} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "write must be one full block");
+        self.apply_completed(now);
+        let kind = self.positioning(block, force_sequential);
+        let start = self.busy_until.max(now);
+        let end = start + self.model.service_time_kind(BLOCK_SIZE as u64, kind);
+        self.busy_until = end;
+        self.last_block = Some(block);
+        self.stats.writes += 1;
+        self.stats.bytes_written += BLOCK_SIZE as u64;
+        self.pending.push_back(PendingWrite { block, data, start, end });
+        end
+    }
+
+    /// Reads a block, seeing the latest submitted write (read-after-write
+    /// consistency, as a real controller provides). Returns the data and the
+    /// time the read completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn read(&mut self, block: u64, now: SimTime, force_sequential: bool) -> (Vec<u8>, SimTime) {
+        assert!(block < self.num_blocks(), "block {block} out of range");
+        self.apply_completed(now);
+        let kind = self.positioning(block, force_sequential);
+        let start = self.busy_until.max(now);
+        let end = start + self.model.service_time_kind(BLOCK_SIZE as u64, kind);
+        self.busy_until = end;
+        self.last_block = Some(block);
+        self.stats.reads += 1;
+        self.stats.bytes_read += BLOCK_SIZE as u64;
+        // Latest pending write to this block wins.
+        let data = self
+            .pending
+            .iter()
+            .rev()
+            .find(|w| w.block == block)
+            .map(|w| w.data.clone())
+            .unwrap_or_else(|| self.blocks[block as usize].clone());
+        (data, end)
+    }
+
+    /// Waits for all pending writes: applies them and returns the time the
+    /// queue drained.
+    pub fn sync(&mut self, now: SimTime) -> SimTime {
+        let done = self.idle_at(now);
+        self.apply_completed(done);
+        debug_assert!(self.pending.is_empty());
+        done
+    }
+
+    /// Crashes the system at time `now`.
+    ///
+    /// * Writes already durable stay.
+    /// * The write in flight (started, not finished) leaves a **torn block**:
+    ///   the first half of the new data lands, the second half keeps the old
+    ///   contents, and the block is flagged torn.
+    /// * Queued writes that never started are lost.
+    pub fn crash(&mut self, now: SimTime) {
+        self.apply_completed(now);
+        while let Some(w) = self.pending.pop_front() {
+            if w.start < now && now < w.end {
+                let half = BLOCK_SIZE / 2;
+                self.blocks[w.block as usize][..half].copy_from_slice(&w.data[..half]);
+                self.torn[w.block as usize] = true;
+                self.stats.blocks_torn_at_crash += 1;
+            } else {
+                self.stats.writes_lost_at_crash += 1;
+            }
+        }
+        self.busy_until = SimTime::ZERO;
+        self.last_block = None;
+    }
+
+    /// Whether a block was torn by a crash and not yet rewritten.
+    pub fn is_torn(&self, block: u64) -> bool {
+        self.torn[block as usize]
+    }
+
+    /// Post-crash raw block contents (no timing, no queue) — used by
+    /// recovery and by corruption checks.
+    pub fn peek(&self, block: u64) -> &[u8] {
+        &self.blocks[block as usize]
+    }
+
+    /// Direct block write without timing — used by mkfs and by warm reboot's
+    /// metadata restore, both of which run on a healthy booting system where
+    /// timing is not being measured.
+    pub fn poke(&mut self, block: u64, data: &[u8]) {
+        assert_eq!(data.len(), BLOCK_SIZE);
+        self.blocks[block as usize].copy_from_slice(data);
+        self.torn[block as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(32, DiskModel::paper_scsi())
+    }
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut d = disk();
+        let done = d.submit_write(5, block_of(0x5A), SimTime::ZERO, false);
+        let (data, _) = d.read(5, done, false);
+        assert_eq!(data, block_of(0x5A));
+    }
+
+    #[test]
+    fn read_sees_pending_write_before_completion() {
+        let mut d = disk();
+        let done = d.submit_write(5, block_of(1), SimTime::ZERO, false);
+        // Read issued immediately, before the write is durable.
+        let (data, read_done) = d.read(5, SimTime::ZERO, false);
+        assert_eq!(data, block_of(1));
+        assert!(read_done > done, "read queued behind the write");
+    }
+
+    #[test]
+    fn queue_serializes_requests() {
+        let mut d = disk();
+        let t1 = d.submit_write(1, block_of(1), SimTime::ZERO, false);
+        let t2 = d.submit_write(9, block_of(2), SimTime::ZERO, false);
+        assert!(t2 > t1);
+        let drained = d.sync(SimTime::ZERO);
+        assert_eq!(drained, t2);
+        assert_eq!(d.queue_depth(drained), 0);
+    }
+
+    #[test]
+    fn sequential_stream_is_faster_than_random() {
+        let mut d1 = disk();
+        let mut d2 = disk();
+        let mut t_seq = SimTime::ZERO;
+        for i in 0..8 {
+            t_seq = d1.submit_write(i, block_of(1), SimTime::ZERO, true);
+        }
+        let mut t_rand = SimTime::ZERO;
+        for i in 0..8 {
+            t_rand = d2.submit_write((i * 7) % 32, block_of(1), SimTime::ZERO, false);
+        }
+        assert!(t_seq < t_rand);
+    }
+
+    #[test]
+    fn consecutive_blocks_auto_detected_as_sequential() {
+        let mut d = disk();
+        d.submit_write(3, block_of(1), SimTime::ZERO, false);
+        let before = d.idle_at(SimTime::ZERO);
+        let after = d.submit_write(4, block_of(2), SimTime::ZERO, false);
+        // Second request charged no positioning.
+        let svc = after.saturating_sub(before);
+        assert_eq!(svc, d.model().service_time(BLOCK_SIZE as u64, true));
+    }
+
+    #[test]
+    fn crash_loses_unstarted_writes() {
+        let mut d = disk();
+        let first_done = d.submit_write(1, block_of(1), SimTime::ZERO, false);
+        d.submit_write(2, block_of(2), SimTime::ZERO, false);
+        d.submit_write(3, block_of(3), SimTime::ZERO, false);
+        // Crash just after the second write starts: the first is durable,
+        // the second is mid-write (torn), the third never started (lost).
+        d.crash(first_done + SimTime::from_micros(1));
+        assert_eq!(d.peek(1), &block_of(1)[..]);
+        assert!(d.is_torn(2), "second write was in flight");
+        assert_eq!(d.peek(3), &block_of(0)[..], "third write lost");
+        assert_eq!(d.stats().writes_lost_at_crash, 1);
+        assert_eq!(d.stats().blocks_torn_at_crash, 1);
+    }
+
+    #[test]
+    fn torn_block_is_half_new_half_old() {
+        let mut d = disk();
+        d.poke(7, &block_of(0xEE));
+        let start = SimTime::ZERO;
+        let end = d.submit_write(7, block_of(0x11), start, false);
+        let mid = SimTime::from_micros((start.as_micros() + end.as_micros()) / 2);
+        d.crash(mid);
+        assert!(d.is_torn(7));
+        let data = d.peek(7);
+        assert!(data[..BLOCK_SIZE / 2].iter().all(|&b| b == 0x11));
+        assert!(data[BLOCK_SIZE / 2..].iter().all(|&b| b == 0xEE));
+    }
+
+    #[test]
+    fn rewriting_a_torn_block_clears_the_flag() {
+        let mut d = disk();
+        let end = d.submit_write(7, block_of(0x11), SimTime::ZERO, false);
+        d.crash(SimTime::from_micros(end.as_micros() / 2 + 1));
+        assert!(d.is_torn(7));
+        let done = d.submit_write(7, block_of(0x22), SimTime::ZERO, false);
+        d.sync(done);
+        assert!(!d.is_torn(7));
+        assert_eq!(d.peek(7), &block_of(0x22)[..]);
+    }
+
+    #[test]
+    fn sync_drains_everything() {
+        let mut d = disk();
+        for i in 0..5 {
+            d.submit_write(i, block_of(i as u8), SimTime::ZERO, false);
+        }
+        let t = d.sync(SimTime::ZERO);
+        for i in 0..5 {
+            assert_eq!(d.peek(i)[0], i as u8);
+        }
+        assert_eq!(d.idle_at(t), t);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut d = disk();
+        d.submit_write(0, block_of(1), SimTime::ZERO, false);
+        d.read(0, SimTime::ZERO, false);
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, BLOCK_SIZE as u64);
+        assert_eq!(s.bytes_read, BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        disk().read(99, SimTime::ZERO, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "full block")]
+    fn short_write_panics() {
+        disk().submit_write(0, vec![0; 100], SimTime::ZERO, false);
+    }
+}
+
+#[cfg(test)]
+mod same_block_tests {
+    use super::*;
+
+    #[test]
+    fn rewriting_the_same_block_pays_rotation() {
+        let mut d = SimDisk::new(8, DiskModel::paper_scsi());
+        let t1 = d.submit_write(3, vec![1; BLOCK_SIZE], SimTime::ZERO, false);
+        let t2 = d.submit_write(3, vec![2; BLOCK_SIZE], SimTime::ZERO, false);
+        let svc2 = t2.saturating_sub(t1);
+        assert_eq!(
+            svc2,
+            d.model().service_time_kind(BLOCK_SIZE as u64, crate::model::Positioning::SameBlock)
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Simulated time.
+//!
+//! All of Table 2 is measured in simulated time: the kernel charges CPU and
+//! memory-copy costs, the disk charges mechanical latencies, and the harness
+//! reports the final clock value as the workload's "elapsed seconds".
+
+/// A point in simulated time, in microseconds since boot.
+///
+/// Arithmetic is saturating-free and panics on overflow in debug builds —
+/// simulated runs never approach `u64::MAX` microseconds (≈ 584,000 years).
+///
+/// # Example
+///
+/// ```
+/// use rio_disk::SimTime;
+///
+/// let t = SimTime::from_millis(30_000); // the 30-second update interval
+/// assert_eq!(t.as_secs_f64(), 30.0);
+/// assert!(t + SimTime::from_micros(1) > t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero (boot).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microsecond count.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (for reports).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Difference (saturating at zero).
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs(1).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(25);
+        assert!(a < b);
+        assert_eq!(a + b, SimTime::from_micros(35));
+        assert_eq!(b.saturating_sub(a), SimTime::from_micros(15));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_shows_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500s");
+    }
+}

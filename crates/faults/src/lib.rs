@@ -1,0 +1,28 @@
+//! Fault injection: the thirteen fault types of §3.1 and the crash
+//! campaign behind Table 1.
+//!
+//! The taxonomy, trigger cadences, and the copy-overrun length distribution
+//! follow the paper:
+//!
+//! * **Bit flips** in kernel text, heap, and stack — electrical corruption
+//!   of DRAM cells (\[Barton90\], \[Kanawati95\]).
+//! * **Low-level software faults** — corrupt the destination or source
+//!   register of an instruction, delete a branch, delete a random
+//!   instruction (\[Kao93\]).
+//! * **High-level software faults** — skipped initialization, corrupted
+//!   pointer formation, premature `malloc` free, `bcopy` overrun (50% one
+//!   byte / 44% 2–1024 B / 6% 2–4 KB), off-by-one comparisons, and lock
+//!   acquire/release that silently do nothing (\[Sullivan91b\], \[Lee93\]).
+//!
+//! [`inject()`](inject::inject) plants one fault type into a live kernel (20 instances per
+//! run, as in the paper); [`campaign`] drives whole Table 1 rows.
+
+pub mod campaign;
+pub mod inject;
+pub mod trace;
+
+pub use campaign::{run_campaign_parallel, 
+    run_campaign, run_trial, CampaignConfig, CampaignResult, CellResult, SystemKind, TrialOutcome,
+};
+pub use inject::{inject, FaultType};
+pub use trace::{run_traced_trial, summarize, DetectionChannel, PropagationSummary, TrialTrace};

@@ -1,0 +1,313 @@
+//! Fault-propagation tracing — the paper's footnote 2 future work.
+//!
+//! §3.3: *"We plan to trace how faults propagate to corrupt files and crash
+//! the system instead of treating the system as a black box."* The traced
+//! trial runs the same protocol as [`crate::campaign::run_trial`] but
+//! watches the system from the inside: when each fault hook activates, how
+//! many operations elapse between injection and the crash (the paper's
+//! "most crashes occurred within 15 seconds"), which detection channel
+//! caught the damage, and whether corruption preceded or followed the
+//! crash.
+
+use crate::campaign::SystemKind;
+use crate::inject::{inject, FaultType};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rio_kernel::{Kernel, KernelConfig, KernelError};
+use rio_workloads::MemTest;
+
+/// How damage (if any) was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionChannel {
+    /// No damage detected.
+    None,
+    /// The registry checksum caught a corrupted page at warm reboot
+    /// (direct corruption, §3.2's first detector).
+    Checksum,
+    /// Only the memTest replay comparison caught it (indirect corruption,
+    /// or direct corruption of data whose checksum was recomputed after
+    /// the damage).
+    MemTestOnly,
+    /// Both channels fired.
+    Both,
+}
+
+impl std::fmt::Display for DetectionChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DetectionChannel::None => "none",
+            DetectionChannel::Checksum => "checksum",
+            DetectionChannel::MemTestOnly => "memTest-only",
+            DetectionChannel::Both => "checksum+memTest",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The full observation of one traced trial.
+#[derive(Debug, Clone)]
+pub struct TrialTrace {
+    /// Fault injected.
+    pub fault: FaultType,
+    /// System under test.
+    pub system: SystemKind,
+    /// Trial seed.
+    pub seed: u64,
+    /// Whether the system crashed within the watchdog budget.
+    pub crashed: bool,
+    /// Operations between injection and crash (the "15 seconds" analog).
+    pub crash_latency_ops: Option<u64>,
+    /// Simulated time between injection and crash.
+    pub crash_latency_time: Option<rio_disk::SimTime>,
+    /// Behavioural-hook activations before the crash.
+    pub hook_activations: u64,
+    /// Protection-trap saves observed.
+    pub protection_traps: u64,
+    /// Whether file data was damaged.
+    pub corrupted: bool,
+    /// Which detector(s) caught the damage.
+    pub detection: DetectionChannel,
+    /// Stable crash message, if crashed.
+    pub message: Option<String>,
+}
+
+/// Runs one fully-instrumented trial.
+pub fn run_traced_trial(
+    system: SystemKind,
+    fault: FaultType,
+    seed: u64,
+    warmup_ops: u64,
+    watchdog_ops: u64,
+) -> TrialTrace {
+    let mut trace = TrialTrace {
+        fault,
+        system,
+        seed,
+        crashed: false,
+        crash_latency_ops: None,
+        crash_latency_time: None,
+        hook_activations: 0,
+        protection_traps: 0,
+        corrupted: false,
+        detection: DetectionChannel::None,
+        message: None,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let policy = system.policy();
+    let config = KernelConfig::small(policy);
+    let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
+        return trace;
+    };
+    let mt_cfg = system.memtest_config(seed ^ 0x5EED);
+    let mut mt = MemTest::new(mt_cfg.clone());
+    if mt.setup(&mut k).is_err() || mt.run(&mut k, warmup_ops).is_err() {
+        return trace;
+    }
+
+    inject(&mut k, fault, &mut rng);
+    let injected_at_ops = mt.ops_done();
+    let injected_at_time = k.machine.clock.now();
+
+    for _ in 0..watchdog_ops {
+        match mt.step(&mut k) {
+            Ok(()) => {}
+            Err(KernelError::Panic(_)) | Err(KernelError::Crashed) => {
+                trace.crashed = true;
+                break;
+            }
+            Err(_) => return trace, // wedged
+        }
+    }
+    trace.hook_activations = k.machine.hooks.activations;
+    trace.protection_traps = k.machine.bus.stats().protection_traps;
+    if !trace.crashed {
+        return trace;
+    }
+    let info = k.crash_info().expect("crashed").clone();
+    trace.message = Some(info.reason.message());
+    trace.crash_latency_ops = Some(mt.ops_done() - injected_at_ops);
+    trace.crash_latency_time = Some(info.at.saturating_sub(injected_at_time));
+
+    let ops = mt.ops_done();
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, checksum_hit) = match system {
+        SystemKind::DiskBased => match Kernel::cold_boot(&config, disk) {
+            Ok((k2, _)) => (k2, false),
+            Err(_) => {
+                trace.corrupted = true;
+                trace.detection = DetectionChannel::MemTestOnly;
+                return trace;
+            }
+        },
+        _ => match Kernel::warm_boot(&config, &image, disk) {
+            Ok((k2, report)) => {
+                let hit = report
+                    .warm
+                    .map(|w| w.dropped_bad_crc > 0)
+                    .unwrap_or(false);
+                (k2, hit)
+            }
+            Err(_) => {
+                trace.corrupted = true;
+                trace.detection = DetectionChannel::MemTestOnly;
+                return trace;
+            }
+        },
+    };
+    let (expected, next_target) = MemTest::replay(&mt_cfg, ops);
+    let memtest_hit = match expected.verify(&mut k2, Some(next_target.as_str())) {
+        Ok(v) => v.is_corrupt(),
+        Err(_) => true,
+    };
+    trace.corrupted = memtest_hit || checksum_hit;
+    trace.detection = match (checksum_hit, memtest_hit) {
+        (false, false) => DetectionChannel::None,
+        (true, false) => DetectionChannel::Checksum,
+        (false, true) => DetectionChannel::MemTestOnly,
+        (true, true) => DetectionChannel::Both,
+    };
+    trace
+}
+
+/// Aggregated propagation statistics for a set of traces.
+#[derive(Debug, Clone, Default)]
+pub struct PropagationSummary {
+    /// Traces examined.
+    pub trials: usize,
+    /// Trials that crashed.
+    pub crashed: usize,
+    /// Median ops from injection to crash.
+    pub median_latency_ops: u64,
+    /// 90th-percentile ops from injection to crash.
+    pub p90_latency_ops: u64,
+    /// Share of crashes within `quick_threshold_ops` of injection (the
+    /// paper's "most crashes occurred within 15 seconds").
+    pub quick_crash_share: f64,
+    /// Threshold used for the quick-crash share.
+    pub quick_threshold_ops: u64,
+    /// Crashes whose damage was caught by the checksum channel.
+    pub checksum_detections: usize,
+    /// Crashes whose damage was caught only by memTest.
+    pub memtest_only_detections: usize,
+}
+
+/// Summarizes a batch of traces.
+pub fn summarize(traces: &[TrialTrace], quick_threshold_ops: u64) -> PropagationSummary {
+    let mut latencies: Vec<u64> = traces
+        .iter()
+        .filter_map(|t| t.crash_latency_ops)
+        .collect();
+    latencies.sort_unstable();
+    let pick = |frac: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[(((latencies.len() - 1) as f64) * frac) as usize]
+        }
+    };
+    let crashed = latencies.len();
+    let quick = latencies
+        .iter()
+        .filter(|&&l| l <= quick_threshold_ops)
+        .count();
+    PropagationSummary {
+        trials: traces.len(),
+        crashed,
+        median_latency_ops: pick(0.5),
+        p90_latency_ops: pick(0.9),
+        quick_crash_share: if crashed == 0 {
+            0.0
+        } else {
+            quick as f64 / crashed as f64
+        },
+        quick_threshold_ops,
+        checksum_detections: traces
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.detection,
+                    DetectionChannel::Checksum | DetectionChannel::Both
+                )
+            })
+            .count(),
+        memtest_only_detections: traces
+            .iter()
+            .filter(|t| t.detection == DetectionChannel::MemTestOnly)
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_trials_record_latency() {
+        let mut traces = Vec::new();
+        for seed in 0..6 {
+            traces.push(run_traced_trial(
+                SystemKind::RioWithProtection,
+                FaultType::DeleteRandomInst,
+                seed,
+                20,
+                200,
+            ));
+        }
+        let crashed: Vec<_> = traces.iter().filter(|t| t.crashed).collect();
+        assert!(!crashed.is_empty(), "instruction deletion should crash");
+        for t in &crashed {
+            assert!(t.crash_latency_ops.is_some());
+            assert!(t.message.is_some());
+        }
+    }
+
+    #[test]
+    fn crashes_are_quick_after_injection() {
+        // The integrity probe catches broken data paths within an op or
+        // two — the simulator's version of "most crashes occurred within
+        // 15 seconds after the fault was injected".
+        let mut traces = Vec::new();
+        for seed in 0..8 {
+            traces.push(run_traced_trial(
+                SystemKind::RioWithoutProtection,
+                FaultType::DestinationReg,
+                seed,
+                20,
+                300,
+            ));
+        }
+        let summary = summarize(&traces, 10);
+        if summary.crashed >= 3 {
+            assert!(
+                summary.quick_crash_share >= 0.5,
+                "expected mostly-quick crashes: {summary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let mk = |lat: Option<u64>| TrialTrace {
+            fault: FaultType::KernelText,
+            system: SystemKind::DiskBased,
+            seed: 0,
+            crashed: lat.is_some(),
+            crash_latency_ops: lat,
+            crash_latency_time: None,
+            hook_activations: 0,
+            protection_traps: 0,
+            corrupted: false,
+            detection: DetectionChannel::None,
+            message: None,
+        };
+        let traces: Vec<_> = (0..10).map(|i| mk(Some(i * 10))).collect();
+        let s = summarize(&traces, 30);
+        assert!(s.median_latency_ops <= s.p90_latency_ops);
+        assert_eq!(s.crashed, 10);
+        assert!((s.quick_crash_share - 0.4).abs() < 1e-9);
+        // Empty case is stable.
+        let empty = summarize(&[mk(None)], 10);
+        assert_eq!(empty.crashed, 0);
+        assert_eq!(empty.median_latency_ops, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal plain-text table rendering for the report binaries.
+
+/// Renders rows as an aligned ASCII table. The first row is the header.
+///
+/// # Example
+///
+/// ```
+/// let out = rio_harness::ascii::render(&[
+///     vec!["fault".into(), "crashes".into()],
+///     vec!["kernel text".into(), "50".into()],
+/// ]);
+/// assert!(out.contains("| kernel text | 50"));
+/// ```
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().expect("non-empty");
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    for (r, row) in rows.iter().enumerate() {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push(' ');
+            out.push_str(cell);
+            out.push_str(&" ".repeat(w - cell.len() + 1));
+            out.push('|');
+        }
+        out.push('\n');
+        if r == 0 {
+            sep(&mut out);
+        }
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(&[
+            vec!["a".into(), "long header".into()],
+            vec!["xxxx".into(), "1".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        // 2 data rows + 3 separators.
+        assert_eq!(lines.len(), 5);
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "{t}");
+        assert!(t.contains("| xxxx | 1"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(render(&[]), "");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let t = render(&[
+            vec!["h1".into(), "h2".into(), "h3".into()],
+            vec!["only-one".into()],
+        ]);
+        assert!(t.contains("only-one"));
+    }
+}

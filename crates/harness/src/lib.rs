@@ -1,0 +1,24 @@
+//! The experiment harness: regenerates every table in the paper's
+//! evaluation and the derived statistics around them.
+//!
+//! * [`table1`] — the reliability comparison (§3.3): 13 fault types × 3
+//!   systems, corruptions per 50 crashes, plus protection-trap saves, the
+//!   unique-crash-message count, and the MTTF illustration.
+//! * [`table2`] — the performance comparison (§4): cp+rm / Sdet / Andrew
+//!   across the eight file-system configurations, with the paper's
+//!   headline ratios computed alongside.
+//! * [`overhead`] — the protection-overhead micro-study backing "Rio's
+//!   protection mechanism adds essentially no overhead", including the
+//!   code-patching ablation (§2.1's 20–50% band).
+//! * [`ascii`] — plain-text table rendering shared by the report binaries.
+
+pub mod ascii;
+pub mod overhead;
+pub mod propagation;
+pub mod table1;
+pub mod table2;
+
+pub use overhead::{run_overhead_study, OverheadReport};
+pub use propagation::{render_propagation, run_propagation, PropagationRow};
+pub use table1::{render_table1, run_table1, MttfEstimate, Table1Report};
+pub use table2::{render_table2, run_table2, Table2Report, Table2Row};

@@ -1,0 +1,266 @@
+//! Simulated time accounting and the cost model behind Table 2.
+//!
+//! Every kernel operation charges simulated time: interpreter steps for the
+//! data paths, fixed CPU costs for syscall entry and per-page processing,
+//! protection-window toggles, and disk service times (the disk computes its
+//! own; the clock just advances to completion for synchronous waits).
+//!
+//! The default constants are calibrated for a mid-1990s workstation (the
+//! paper's DEC 3000/600, a 175 MHz Alpha): what matters for reproducing the
+//! *shape* of Table 2 is the ratio between CPU/memory costs and mechanical
+//! disk latency.
+
+use rio_disk::SimTime;
+
+/// Per-operation cost constants (nanosecond/microsecond granularity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Nanoseconds per interpreted instruction (data-path work; 8 KB copied
+    /// 8 bytes per ~6-instruction iteration ≈ 90 µs/page at 15 ns/step,
+    /// a 1996-class ~90 MB/s kernel memcpy).
+    pub cpu_ns_per_step: u64,
+    /// Fixed syscall entry/exit cost, microseconds.
+    pub syscall_overhead_us: u64,
+    /// Per-path-component lookup cost, microseconds.
+    pub namei_component_us: u64,
+    /// Per-page bookkeeping cost beyond the copy itself (page lookup, user
+    /// crossing, dirty tracking), microseconds.
+    pub page_op_cpu_us: u64,
+    /// Cost of opening+closing one protection window (in-kernel PTE flip;
+    /// no syscall needed — §6 explains why Rio beats the 7% of
+    /// \[Sullivan91a\]), microseconds.
+    pub protection_toggle_us: u64,
+    /// Extra per-store CPU cost multiplier in code-patching mode, applied
+    /// to interpreted steps (the 20–50% band of §2.1).
+    pub code_patch_step_penalty_pct: u64,
+}
+
+impl CostModel {
+    /// Calibrated 1996-workstation defaults (see `rio-harness::calibration`
+    /// for the Table 2 fit).
+    pub fn paper() -> Self {
+        CostModel {
+            cpu_ns_per_step: 15,
+            syscall_overhead_us: 120,
+            namei_component_us: 60,
+            page_op_cpu_us: 350,
+            protection_toggle_us: 2,
+            code_patch_step_penalty_pct: 35,
+        }
+    }
+
+    /// Zero-cost model: isolates disk time in unit tests.
+    pub fn free() -> Self {
+        CostModel {
+            cpu_ns_per_step: 0,
+            syscall_overhead_us: 0,
+            namei_component_us: 0,
+            page_op_cpu_us: 0,
+            protection_toggle_us: 0,
+            code_patch_step_penalty_pct: 0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+/// The simulated wall clock plus cumulative accounting.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    now: SimTime,
+    /// Sub-microsecond CPU remainder (interpreter steps accumulate in ns).
+    ns_residue: u64,
+    /// Total CPU time charged.
+    cpu_time: SimTime,
+    /// Total time spent waiting for the disk.
+    disk_wait: SimTime,
+    /// Code-patching mode: every kernel CPU charge pays the per-store
+    /// check penalty (§2.1 — patched checks pervade kernel code, not just
+    /// the copy loops).
+    patched: bool,
+    costs: CostModel,
+}
+
+impl Clock {
+    /// A clock at time zero with the given cost model.
+    pub fn new(costs: CostModel) -> Self {
+        Clock {
+            now: SimTime::ZERO,
+            ns_residue: 0,
+            cpu_time: SimTime::ZERO,
+            disk_wait: SimTime::ZERO,
+            patched: false,
+            costs,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Total CPU time charged so far.
+    pub fn cpu_time(&self) -> SimTime {
+        self.cpu_time
+    }
+
+    /// Total synchronous disk-wait time so far.
+    pub fn disk_wait(&self) -> SimTime {
+        self.disk_wait
+    }
+
+    /// Enables or disables the code-patching CPU penalty.
+    pub fn set_patched(&mut self, patched: bool) {
+        self.patched = patched;
+    }
+
+    fn penalized_us(&self, us: u64) -> u64 {
+        if self.patched {
+            us + us * self.costs.code_patch_step_penalty_pct / 100
+        } else {
+            us
+        }
+    }
+
+    fn charge(&mut self, t: SimTime) {
+        self.now += t;
+        self.cpu_time += t;
+    }
+
+    /// Charges `n` interpreted instructions, with the code-patching penalty
+    /// when `patched` is set.
+    pub fn charge_steps(&mut self, n: u64, patched: bool) {
+        let mut ns = n * self.costs.cpu_ns_per_step;
+        if patched {
+            ns += ns * self.costs.code_patch_step_penalty_pct / 100;
+        }
+        ns += self.ns_residue;
+        self.ns_residue = ns % 1_000;
+        self.charge(SimTime::from_micros(ns / 1_000));
+    }
+
+    /// Charges a fixed number of microseconds of CPU time.
+    pub fn charge_us(&mut self, us: u64) {
+        self.charge(SimTime::from_micros(us));
+    }
+
+    /// Charges one syscall entry (kernel CPU: pays the patch penalty).
+    pub fn charge_syscall(&mut self) {
+        let us = self.penalized_us(self.costs.syscall_overhead_us);
+        self.charge_us(us);
+    }
+
+    /// Charges a path lookup of `components` components (kernel CPU).
+    pub fn charge_namei(&mut self, components: u64) {
+        let us = self.penalized_us(self.costs.namei_component_us * components);
+        self.charge_us(us);
+    }
+
+    /// Charges per-page bookkeeping (kernel CPU).
+    pub fn charge_page_op(&mut self) {
+        let us = self.penalized_us(self.costs.page_op_cpu_us);
+        self.charge_us(us);
+    }
+
+    /// Charges one protection-window toggle.
+    pub fn charge_window(&mut self) {
+        self.charge_us(self.costs.protection_toggle_us);
+    }
+
+    /// Blocks until `t` (synchronous disk wait); no-op if `t` has passed.
+    pub fn wait_until(&mut self, t: SimTime) {
+        if t > self.now {
+            self.disk_wait += t.saturating_sub(self.now);
+            self.now = t;
+        }
+    }
+
+    /// Advances the wall clock without charging CPU (idle time between
+    /// workload phases).
+    pub fn idle_until(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_accumulate_with_residue() {
+        let mut c = Clock::new(CostModel {
+            cpu_ns_per_step: 15,
+            ..CostModel::free()
+        });
+        // 100 steps = 1500 ns = 1 µs + 500 ns residue.
+        c.charge_steps(100, false);
+        assert_eq!(c.now().as_micros(), 1);
+        // Another 100 steps: 1500 + 500 = 2000 ns → +2 µs.
+        c.charge_steps(100, false);
+        assert_eq!(c.now().as_micros(), 3);
+        assert_eq!(c.cpu_time().as_micros(), 3);
+    }
+
+    #[test]
+    fn code_patch_penalty_applies() {
+        let costs = CostModel {
+            cpu_ns_per_step: 100,
+            code_patch_step_penalty_pct: 50,
+            ..CostModel::free()
+        };
+        let mut plain = Clock::new(costs);
+        let mut patched = Clock::new(costs);
+        plain.charge_steps(1000, false);
+        patched.charge_steps(1000, true);
+        assert_eq!(plain.now().as_micros(), 100);
+        assert_eq!(patched.now().as_micros(), 150);
+    }
+
+    #[test]
+    fn wait_until_counts_disk_wait() {
+        let mut c = Clock::new(CostModel::free());
+        c.charge_us(10);
+        c.wait_until(SimTime::from_micros(50));
+        assert_eq!(c.now().as_micros(), 50);
+        assert_eq!(c.disk_wait().as_micros(), 40);
+        // Waiting for the past is free.
+        c.wait_until(SimTime::from_micros(20));
+        assert_eq!(c.now().as_micros(), 50);
+    }
+
+    #[test]
+    fn idle_does_not_charge_cpu() {
+        let mut c = Clock::new(CostModel::paper());
+        c.idle_until(SimTime::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(5));
+        assert_eq!(c.cpu_time(), SimTime::ZERO);
+        assert_eq!(c.disk_wait(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn named_charges_use_model_constants() {
+        let mut c = Clock::new(CostModel::paper());
+        c.charge_syscall();
+        assert_eq!(
+            c.now().as_micros(),
+            CostModel::paper().syscall_overhead_us
+        );
+        let before = c.now();
+        c.charge_namei(3);
+        assert_eq!(
+            c.now().saturating_sub(before).as_micros(),
+            3 * CostModel::paper().namei_component_us
+        );
+    }
+}

@@ -1,0 +1,438 @@
+//! The file-data path: UBC management, writes, and reads.
+//!
+//! This is the code §2 is about. File pages live in the UBC region of
+//! simulated memory and — as on the paper's Digital Unix — are addressed
+//! with **KSEG physical addresses**, which is why stock protection cannot
+//! cover them and Rio has to force KSEG through the TLB. Every byte a user
+//! writes travels: user buffer → kmalloc'd staging area (heap) →
+//! interpreted `bcopy` → UBC page behind a protection window, with the
+//! registry's CHANGING/DIRTY discipline around the copy.
+
+use crate::error::{KernelError, PanicReason};
+use crate::kernel::Kernel;
+use crate::ondisk::{FileType, Inode};
+use crate::policy::DataPolicy;
+use rio_core::{EntryFlags, RegistryEntry};
+use rio_cpu::kseg_addr;
+use rio_mem::{PageNum, PAGE_SIZE};
+
+impl Kernel {
+    /// Ensures the UBC holds file page `pidx` of inode `ino`, returning its
+    /// memory page. Missing backing blocks read as zeroes (holes / fresh
+    /// pages).
+    pub(crate) fn ubc_get(
+        &mut self,
+        ino: u64,
+        pidx: u64,
+        inode: &Inode,
+    ) -> Result<PageNum, KernelError> {
+        let key = (ino, pidx);
+        if let Some(page) = self.ubc.lookup(key) {
+            return Ok(page);
+        }
+        self.machine.clock.charge_page_op();
+        let (page, evicted) = self.ubc.insert(key);
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                // Overflow write-back (the only disk writes Rio ever does).
+                self.stats.overflow_writebacks += 1;
+                self.flush_one_ubc_page(ev.key, ev.page, false)?;
+            }
+            self.rio_clear_entry(ev.page)?;
+        }
+        let backing = self.file_block(inode, pidx)?;
+        match backing {
+            Some(block) => {
+                let now = self.machine.clock.now();
+                let (data, done) = self.machine.disk.read(block, now, false);
+                self.machine.clock.wait_until(done);
+                self.fc_store(page, page.base(), &data)?;
+            }
+            None => {
+                if let Some(rio) = self.rio.as_mut() {
+                    rio.prot.window_open(&mut self.machine.bus, page);
+                }
+                let res = self.machine.bzero(page.base(), PAGE_SIZE as u64);
+                if let Some(rio) = self.rio.as_mut() {
+                    rio.prot.window_close(&mut self.machine.bus, page);
+                }
+                res.map_err(|e| self.die(e))?;
+            }
+        }
+        let valid = Self::valid_bytes(inode.size, pidx);
+        self.ubc.set_valid(key, valid);
+        let crc = self.page_crc_prefix(page, valid);
+        self.rio_write_entry(
+            page,
+            &RegistryEntry {
+                flags: EntryFlags::VALID,
+                phys_page: page.0 as u32,
+                dev: 1,
+                ino,
+                offset: pidx * PAGE_SIZE as u64,
+                size: valid,
+                crc,
+            },
+        )?;
+        Ok(page)
+    }
+
+    fn valid_bytes(file_size: u64, pidx: u64) -> u32 {
+        let start = pidx * PAGE_SIZE as u64;
+        file_size.saturating_sub(start).min(PAGE_SIZE as u64) as u32
+    }
+
+    fn page_crc_prefix(&self, page: PageNum, valid: u32) -> u32 {
+        rio_mem::crc32(&self.machine.bus.mem().page(page)[..valid as usize])
+    }
+
+    /// Best-effort block lookup used by the panic flush: reads whatever the
+    /// caches/disk currently claim without mutating anything.
+    pub(crate) fn lookup_file_block_quiet(
+        &self,
+        ino: u64,
+        pidx: u64,
+    ) -> Result<Option<u64>, ()> {
+        if ino == 0 || ino >= self.geometry.num_inodes {
+            return Err(());
+        }
+        let (block, off) = self.geometry.inode_location(ino);
+        let rec = match self.bufcache.peek(block) {
+            Some(page) => self
+                .machine
+                .bus
+                .mem()
+                .slice(page.base() + off as u64, crate::ondisk::INODE_BYTES as u64)
+                .to_vec(),
+            None => self.machine.disk.peek(block)
+                [off..off + crate::ondisk::INODE_BYTES]
+                .to_vec(),
+        };
+        let inode = Inode::decode(&rec).map_err(|_| ())?.ok_or(())?;
+        if (pidx as usize) < crate::ondisk::NDIRECT {
+            let b = inode.direct[pidx as usize];
+            return Ok((b != 0
+                && b >= self.geometry.data_start
+                && b < self.geometry.num_blocks)
+                .then_some(b));
+        }
+        Ok(None) // indirect lookups are skipped on the dying path
+    }
+
+    /// Writes one dirty UBC page to its backing block, allocating the block
+    /// (and updating metadata) if the file never had one.
+    pub(crate) fn flush_one_ubc_page(
+        &mut self,
+        key: (u64, u64),
+        page: PageNum,
+        wait: bool,
+    ) -> Result<(), KernelError> {
+        let (ino, pidx) = key;
+        let mut inode = self.read_inode(ino)?;
+        let block = match self.file_block(&inode, pidx)? {
+            Some(b) => b,
+            None => {
+                let b = self.alloc_block()?;
+                self.set_file_block(ino, &mut inode, pidx, b)?;
+                b
+            }
+        };
+        let data = self.machine.bus.mem().page(page).to_vec();
+        let now = self.machine.clock.now();
+        let done = self.machine.disk.submit_write(block, data, now, false);
+        if wait {
+            self.machine.clock.wait_until(done);
+            self.stats.sync_waits += 1;
+        }
+        self.ubc.mark_clean(key);
+        // Registry: the page is now clean (disk holds it).
+        if self.rio.is_some() {
+            if let Some(mut entry) = self.rio_read_entry(page)? {
+                entry.flags = entry.flags.without(EntryFlags::DIRTY);
+                self.rio_write_entry(page, &entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The pwrite engine: copies `data` into the file cache at `offset`.
+    pub(crate) fn do_write(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), KernelError> {
+        self.lock(crate::locks::LockId::Ubc)?;
+        let r = self.do_write_locked(ino, offset, data);
+        self.unlock(crate::locks::LockId::Ubc)?;
+        r
+    }
+
+    fn do_write_locked(&mut self, ino: u64, offset: u64, data: &[u8]) -> Result<(), KernelError> {
+        // Save parameters in the kernel-stack activation record and re-read
+        // them: stack corruption becomes wrong-parameter I/O (§3.2 indirect
+        // corruption).
+        self.machine
+            .push_act_record(ino, offset, data.len() as u64);
+        let (ino, offset, len) = self
+            .machine
+            .read_act_record()
+            .map_err(|e| self.die(e))?;
+        let len = (len as usize).min(data.len());
+        let data = &data[..len];
+
+        let mut inode = self.read_inode(ino)?;
+        if inode.itype != FileType::File {
+            return Err(KernelError::IsDir);
+        }
+        if offset + data.len() as u64 > crate::ondisk::MAX_FILE_BLOCKS * PAGE_SIZE as u64 {
+            return Err(KernelError::FileTooBig);
+        }
+
+        // Stage the user bytes in the kernel heap (copyin).
+        let staging = self.kmalloc_traced(data.len().max(1) as u64)?;
+        self.machine.bus.mem_mut().write_bytes(staging, data);
+
+        let mut done = 0usize;
+        while done < data.len() {
+            let abs = offset + done as u64;
+            let pidx = abs / PAGE_SIZE as u64;
+            let in_page = (abs % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let page = self.ubc_get(ino, pidx, &inode)?;
+            let key = (ino, pidx);
+
+            // Registry: mark CHANGING before touching the page (§3.2).
+            let had_entry = self.rio.is_some();
+            let mut entry = if had_entry {
+                let mut e = self
+                    .rio_read_entry(page)?
+                    .ok_or_else(|| {
+                        PanicReason::Consistency("registry: missing file entry".to_owned())
+                    })
+                    .map_err(|e| self.die(e))?;
+                e.flags = e
+                    .flags
+                    .with(EntryFlags::DIRTY)
+                    .with(EntryFlags::CHANGING);
+                self.rio_write_entry(page, &e)?;
+                Some(e)
+            } else {
+                None
+            };
+
+            // The copy itself: interpreted bcopy to a KSEG address, behind
+            // a one-page window. Copy-overrun and off-by-one faults extend
+            // it; protection traps what escapes the window.
+            if let Some(rio) = self.rio.as_mut() {
+                rio.prot.window_open(&mut self.machine.bus, page);
+                self.machine.clock.charge_window();
+            }
+            let res = self.machine.bcopy(
+                staging + done as u64,
+                kseg_addr(page.base() + in_page as u64),
+                n as u64,
+            );
+            if let Some(rio) = self.rio.as_mut() {
+                rio.prot.window_close(&mut self.machine.bus, page);
+            }
+            res.map_err(|e| self.die(e))?;
+            self.machine.clock.charge_page_op();
+
+            // Registry: record the new contents, clear CHANGING.
+            let new_valid = self
+                .ubc
+                .valid(key)
+                .max((in_page + n) as u32);
+            self.ubc.set_valid(key, new_valid);
+            self.ubc.mark_dirty(key);
+            if let Some(e) = entry.as_mut() {
+                if self.policy.checkpoint_interval.is_some() {
+                    // Phoenix mode ([Gait90]): the page stays CHANGING —
+                    // unrecoverable — until the next checkpoint walks it.
+                    e.size = new_valid;
+                } else {
+                    // Rio: permanent the moment the copy lands.
+                    e.flags = e.flags.without(EntryFlags::CHANGING);
+                    e.size = new_valid;
+                    e.crc = self.page_crc_prefix(page, new_valid);
+                }
+                let e = *e;
+                self.rio_write_entry(page, &e)?;
+            }
+            done += n;
+        }
+        self.kfree_traced(staging)?;
+
+        // Metadata: size and mtime (ordering-noncritical, as in FFS).
+        let new_size = inode.size.max(offset + data.len() as u64);
+        inode.size = new_size;
+        inode.mtime = self.machine.clock.now().as_micros();
+        self.write_inode_async(ino, &inode)?;
+
+        // Data policy.
+        self.apply_data_policy(ino, offset, data.len() as u64)?;
+        Ok(())
+    }
+
+    fn apply_data_policy(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), KernelError> {
+        match self.policy.data {
+            DataPolicy::WriteThrough => {
+                // Every dirty page of this file goes out now, synchronously.
+                self.flush_file_pages(ino, true)?;
+                Ok(())
+            }
+            DataPolicy::AsyncClustered { cluster_bytes } => {
+                let entry = self.cluster_accum.entry(ino).or_insert((0, offset));
+                let sequential = entry.1 == offset;
+                entry.0 += len;
+                entry.1 = offset + len;
+                let due = entry.0 >= cluster_bytes || !sequential;
+                if due {
+                    self.cluster_accum.insert(ino, (0, offset + len));
+                    self.flush_file_pages(ino, false)?;
+                }
+                Ok(())
+            }
+            DataPolicy::Delayed | DataPolicy::Never => Ok(()),
+        }?;
+        self.maybe_throttle()
+    }
+
+    /// Blocks the writer when too much dirty data has accumulated: classic
+    /// kernels bound dirty buffers, so a delayed-write system periodically
+    /// stalls behind its own flush — a cost Rio never pays.
+    fn maybe_throttle(&mut self) -> Result<(), KernelError> {
+        let Some(limit) = self.policy.throttle_dirty_bytes else {
+            return Ok(());
+        };
+        let dirty = self.ubc.dirty_count() as u64 * PAGE_SIZE as u64;
+        if dirty <= limit {
+            return Ok(());
+        }
+        self.flush_everything(false)?;
+        let now = self.machine.clock.now();
+        let drained = self.machine.disk.idle_at(now);
+        self.machine.clock.wait_until(drained);
+        self.stats.sync_waits += 1;
+        Ok(())
+    }
+
+    /// Flushes all dirty UBC pages of one file; `wait` makes it synchronous.
+    pub(crate) fn flush_file_pages(&mut self, ino: u64, wait: bool) -> Result<(), KernelError> {
+        let keys: Vec<(u64, u64)> = self
+            .ubc
+            .dirty_keys()
+            .into_iter()
+            .filter(|k| k.0 == ino)
+            .collect();
+        for key in keys {
+            let page = self
+                .ubc
+                .peek(key)
+                .expect("dirty key is resident");
+            self.flush_one_ubc_page(key, page, wait)?;
+        }
+        Ok(())
+    }
+
+    /// The pread engine.
+    pub(crate) fn do_read(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, KernelError> {
+        self.lock(crate::locks::LockId::Ubc)?;
+        let r = self.do_read_locked(ino, offset, len);
+        self.unlock(crate::locks::LockId::Ubc)?;
+        r
+    }
+
+    fn do_read_locked(&mut self, ino: u64, offset: u64, len: usize) -> Result<Vec<u8>, KernelError> {
+        self.machine.push_act_record(ino, offset, len as u64);
+        let (ino, offset, len64) = self
+            .machine
+            .read_act_record()
+            .map_err(|e| self.die(e))?;
+        let len = len64 as usize;
+
+        let inode = self.read_inode(ino)?;
+        if inode.itype != FileType::File {
+            return Err(KernelError::IsDir);
+        }
+        let end = (offset + len as u64).min(inode.size);
+        if offset >= end {
+            return Ok(Vec::new());
+        }
+        let total = (end - offset) as usize;
+        let staging = self.kmalloc_traced(total.max(1) as u64)?;
+        let mut done = 0usize;
+        while done < total {
+            let abs = offset + done as u64;
+            let pidx = abs / PAGE_SIZE as u64;
+            let in_page = (abs % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(total - done);
+            let page = self.ubc_get(ino, pidx, &inode)?;
+            // Copy out through the interpreted bcopy (KSEG source; heap
+            // destination needs no window).
+            self.machine
+                .bcopy(
+                    kseg_addr(page.base() + in_page as u64),
+                    staging + done as u64,
+                    n as u64,
+                )
+                .map_err(|e| self.die(e))?;
+            self.machine.clock.charge_page_op();
+            done += n;
+        }
+        let out = self.machine.bus.mem().slice(staging, total as u64).to_vec();
+        self.kfree_traced(staging)?;
+        Ok(out)
+    }
+
+    /// kmalloc with fault-hook plumbing: delivers any due premature free
+    /// scheduled by the allocation fault (§3.1).
+    pub(crate) fn kmalloc_traced(&mut self, size: u64) -> Result<u64, KernelError> {
+        self.lock(crate::locks::LockId::Alloc)?;
+        let r = self.kmalloc_locked(size);
+        self.unlock(crate::locks::LockId::Alloc)?;
+        r
+    }
+
+    fn kmalloc_locked(&mut self, size: u64) -> Result<u64, KernelError> {
+        let m = &mut self.machine;
+        let addr = m
+            .alloc
+            .kmalloc(m.bus.mem_mut(), size)
+            .map_err(|e| self.panic_from(e))?;
+        let due = self.machine.hooks.on_kmalloc(addr);
+        if let Some(victim) = due {
+            // The injected bug frees a live block; the allocator may hand
+            // it out again while the original owner still uses it.
+            let m = &mut self.machine;
+            m.alloc
+                .kfree(m.bus.mem_mut(), victim)
+                .map_err(|e| self.panic_from(e))?;
+        }
+        Ok(addr)
+    }
+
+    /// kfree that crashes the kernel on allocator assertion failures
+    /// (double free — the usual end of a premature-free injection).
+    pub(crate) fn kfree_traced(&mut self, addr: u64) -> Result<(), KernelError> {
+        self.lock(crate::locks::LockId::Alloc)?;
+        let m = &mut self.machine;
+        let r = m
+            .alloc
+            .kfree(m.bus.mem_mut(), addr)
+            .map_err(|e| self.panic_from(e));
+        self.unlock(crate::locks::LockId::Alloc)?;
+        r
+    }
+}

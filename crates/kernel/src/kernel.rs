@@ -1,0 +1,367 @@
+//! The `Kernel` type: composition, boot paths, and crash handling.
+//!
+//! The kernel owns a [`Machine`] plus host-side (volatile) bookkeeping: the
+//! buffer-cache and UBC indices, the fd table, and the Rio state. A crash
+//! discards *everything but* the machine's physical memory image and the
+//! disk — which is precisely the paper's model: DRAM and platters survive a
+//! reboot, kernel data structures do not.
+
+use crate::cache::PageCache;
+use crate::clock::CostModel;
+use crate::error::{CrashInfo, KernelError, PanicReason};
+use crate::machine::{Machine, MachineConfig};
+use crate::ondisk::{DiskGeometry, Superblock, ROOT_INO};
+use crate::policy::Policy;
+use rio_core::{ProtectionManager, Registry, RioMode, ShadowPool};
+use rio_disk::{SimDisk, SimTime};
+use rio_mem::{PageNum, PhysMem};
+use std::collections::HashMap;
+
+/// Number of buffer-cache pages reserved as metadata shadows (§2.3).
+pub const NUM_SHADOWS: usize = 4;
+
+/// Rio machinery, present when the policy enables it.
+#[derive(Debug, Clone)]
+pub struct RioState {
+    /// The registry.
+    pub registry: Registry,
+    /// Protection windows.
+    pub prot: ProtectionManager,
+    /// Shadow pages for atomic metadata updates.
+    pub shadows: ShadowPool,
+}
+
+/// Is the system up?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysState {
+    /// Serving syscalls.
+    Running,
+    /// Crashed; memory image and disk await a reboot.
+    Crashed(CrashInfo),
+}
+
+/// An open-file handle returned by `open`/`create`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub u64);
+
+/// Kernel-wide counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Syscalls served.
+    pub syscalls: u64,
+    /// Reliability-induced synchronous disk waits.
+    pub sync_waits: u64,
+    /// Dirty pages written back on cache overflow.
+    pub overflow_writebacks: u64,
+    /// `update` daemon runs.
+    pub update_runs: u64,
+}
+
+/// Construction parameters for a kernel.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Hardware sizing.
+    pub machine: MachineConfig,
+    /// File-system geometry for `mkfs`.
+    pub geometry: DiskGeometry,
+    /// Write policy (one of the Table 2 rows).
+    pub policy: Policy,
+}
+
+impl KernelConfig {
+    /// Small test/campaign configuration with the given policy.
+    pub fn small(policy: Policy) -> Self {
+        KernelConfig {
+            machine: MachineConfig::small(),
+            geometry: DiskGeometry::small(),
+            policy,
+        }
+    }
+
+    /// Override the cost model (harness calibration).
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.machine.costs = costs;
+        self
+    }
+}
+
+/// The simulated operating system.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The hardware.
+    pub machine: Machine,
+    pub(crate) policy: Policy,
+    pub(crate) geometry: DiskGeometry,
+    pub(crate) state: SysState,
+    /// Buffer cache: disk block → page.
+    pub(crate) bufcache: PageCache<u64>,
+    /// UBC: (ino, file page index) → page.
+    pub(crate) ubc: PageCache<(u64, u64)>,
+    pub(crate) rio: Option<RioState>,
+    /// fd → heap address of the in-kernel file object.
+    pub(crate) fds: HashMap<u64, u64>,
+    pub(crate) next_fd: u64,
+    pub(crate) next_update: Option<SimTime>,
+    /// Journal head (next journal slot), for the AdvFS policy.
+    pub(crate) journal_head: u64,
+    /// Per-inode `(bytes accumulated since last async flush, last write
+    /// end offset)` — drives UFS 64 KB clustering and its non-sequential
+    /// flush rule.
+    pub(crate) cluster_accum: HashMap<u64, (u64, u64)>,
+    /// Next Phoenix-style checkpoint instant, when the policy sets one.
+    pub(crate) next_checkpoint: Option<SimTime>,
+    pub(crate) stats: KernelStats,
+}
+
+impl Kernel {
+    /// Formats a fresh disk and mounts it (the common entry point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mount failures (impossible on a freshly formatted disk
+    /// unless the configuration is broken).
+    pub fn mkfs_and_mount(config: &KernelConfig) -> Result<Kernel, KernelError> {
+        let mut machine = Machine::new(&config.machine);
+        assert!(
+            config.machine.disk_blocks >= config.geometry.num_blocks,
+            "disk smaller than file-system geometry"
+        );
+        Self::format(&mut machine.disk, &config.geometry);
+        Self::mount(machine, config)
+    }
+
+    /// Writes a pristine file system onto the disk (untimed, like a real
+    /// `newfs` run before the measured workload).
+    pub fn format(disk: &mut SimDisk, geometry: &DiskGeometry) {
+        let sb = Superblock {
+            geometry: *geometry,
+            mount_count: 0,
+        };
+        disk.poke(0, &sb.encode());
+        // Zero the inode table and bitmap.
+        let zero = vec![0u8; rio_disk::BLOCK_SIZE];
+        for b in geometry.inode_start..geometry.data_start {
+            disk.poke(b, &zero);
+        }
+        // Mark metadata blocks allocated in the bitmap.
+        let mut bitmap = vec![0u8; rio_disk::BLOCK_SIZE];
+        // (Bitmap tracks every block; blocks below data_start are reserved.)
+        for b in 0..geometry.data_start {
+            let (blk, bit) = geometry.bitmap_location(b);
+            if blk == geometry.bitmap_start {
+                bitmap[bit / 8] |= 1 << (bit % 8);
+            }
+        }
+        disk.poke(geometry.bitmap_start, &bitmap);
+        // Root directory inode.
+        let mut root = crate::ondisk::Inode::empty(crate::ondisk::FileType::Dir);
+        root.nlink = 2;
+        let (blk, off) = geometry.inode_location(ROOT_INO);
+        let mut iblock = disk.peek(blk).to_vec();
+        iblock[off..off + crate::ondisk::INODE_BYTES].copy_from_slice(&root.encode());
+        disk.poke(blk, &iblock);
+    }
+
+    /// Mounts the file system on `machine`'s disk.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadSuperblock`] when block 0 does not decode.
+    pub fn mount(machine: Machine, config: &KernelConfig) -> Result<Kernel, KernelError> {
+        let mut machine = machine;
+        // Read the superblock (timed: one disk read).
+        let (sb_bytes, done) = machine.disk.read(0, machine.clock.now(), false);
+        machine.clock.wait_until(done);
+        let sb = Superblock::decode(&sb_bytes).ok_or(KernelError::BadSuperblock)?;
+        let geometry = sb.geometry;
+
+        let layout = *machine.bus.layout();
+        // Rio state first: the shadow pool reserves buffer-cache tail pages.
+        let rio = config.policy.rio.map(|mode| {
+            let prot = ProtectionManager::new(mode);
+            prot.install(&mut machine.bus);
+            RioState {
+                registry: Registry::new(layout),
+                prot: ProtectionManager::new(mode),
+                shadows: ShadowPool::new(&layout, NUM_SHADOWS),
+            }
+        });
+        // Buffer-cache pages: all but the reserved shadow tail.
+        let total_bc = layout.buffer_cache.pages() as usize;
+        let bc_pages: Vec<PageNum> = layout
+            .buffer_cache
+            .page_numbers()
+            .take(total_bc - NUM_SHADOWS)
+            .collect();
+        let ubc_pages: Vec<PageNum> = layout.ubc.page_numbers().collect();
+
+        machine
+            .clock
+            .set_patched(config.policy.rio == Some(RioMode::CodePatched));
+        let next_update = config
+            .policy
+            .update_interval
+            .map(|iv| machine.clock.now() + iv);
+        Ok(Kernel {
+            machine,
+            policy: config.policy.clone(),
+            geometry,
+            state: SysState::Running,
+            bufcache: PageCache::new(bc_pages),
+            ubc: PageCache::new(ubc_pages),
+            rio,
+            fds: HashMap::new(),
+            next_fd: 3, // 0-2 reserved, as tradition demands
+            next_update,
+            journal_head: 0,
+            cluster_accum: HashMap::new(),
+            next_checkpoint: config
+                .policy
+                .checkpoint_interval
+                .map(|iv| SimTime::ZERO + iv),
+            stats: KernelStats::default(),
+        })
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The file-system geometry.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Rio protection-window statistics, if Rio is enabled.
+    pub fn rio_stats(&self) -> Option<rio_core::ProtectionStats> {
+        self.rio.as_ref().map(|r| r.prot.stats())
+    }
+
+    /// Whether the system has crashed.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self.state, SysState::Crashed(_))
+    }
+
+    /// Crash details, if crashed.
+    pub fn crash_info(&self) -> Option<&CrashInfo> {
+        match &self.state {
+            SysState::Running => None,
+            SysState::Crashed(info) => Some(info),
+        }
+    }
+
+    /// Converts an internal panic into a system crash and the syscall-level
+    /// error. Central crash path: optionally flushes dirty buffers (stock
+    /// kernels do on panic; Rio must not — §2.3), then freezes the system.
+    pub(crate) fn panic_from(&mut self, reason: PanicReason) -> KernelError {
+        if self.is_crashed() {
+            return KernelError::Crashed;
+        }
+        if self.policy.panic_flushes {
+            // A sick kernel pushing dirty buffers out: this is the paper's
+            // channel by which direct memory corruption reaches disk.
+            self.panic_flush();
+        }
+        let info = CrashInfo {
+            reason: reason.clone(),
+            at: self.machine.clock.now(),
+        };
+        self.state = SysState::Crashed(info);
+        KernelError::Panic(reason)
+    }
+
+    /// Forces a crash from outside (fault-campaign watchdog, or a fault
+    /// model that halts the machine directly).
+    pub fn crash_now(&mut self, reason: PanicReason) {
+        let _ = self.panic_from(reason);
+    }
+
+    /// Best-effort flush of all dirty buffers during panic (no timing — the
+    /// machine is dying; we only care what reaches the platters).
+    fn panic_flush(&mut self) {
+        let now = self.machine.clock.now();
+        // Metadata.
+        for block in self.bufcache.dirty_keys() {
+            if let Some(page) = self.bufcache.peek(block) {
+                let data = self.machine.bus.mem().page(page).to_vec();
+                self.machine.disk.submit_write(block, data, now, false);
+            }
+        }
+        // File data: only pages with an assigned disk block can be pushed.
+        for key in self.ubc.dirty_keys() {
+            if let Some(page) = self.ubc.peek(key) {
+                if let Ok(Some(block)) = self.lookup_file_block_quiet(key.0, key.1) {
+                    let data = self.machine.bus.mem().page(page).to_vec();
+                    self.machine.disk.submit_write(block, data, now, false);
+                }
+            }
+        }
+        // The dying system does not wait for completion: whatever was in
+        // flight at the end may tear.
+        let crash_time = self.machine.disk.idle_at(now);
+        self.machine.disk.crash(crash_time);
+    }
+
+    /// Consumes the kernel at crash time, yielding what survives: the
+    /// physical memory image and the disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not crashed — taking the image of a live
+    /// system is a harness bug.
+    pub fn into_crash_artifacts(mut self) -> (PhysMem, SimDisk) {
+        assert!(self.is_crashed(), "system is still running");
+        // Unless a panic flush already pushed the queue, in-flight writes
+        // tear exactly as the disk's crash model dictates.
+        let now = self.machine.clock.now();
+        self.machine.disk.crash(now);
+        (self.machine.bus.into_image(), self.machine.disk)
+    }
+
+    /// Guard at every syscall entry.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Crashed`] once the system is down.
+    pub(crate) fn enter_syscall(&mut self) -> Result<(), KernelError> {
+        if self.is_crashed() {
+            return Err(KernelError::Crashed);
+        }
+        self.stats.syscalls += 1;
+        self.machine.clock.charge_syscall();
+        // The rest-of-the-kernel consistency probe (see
+        // `Machine::integrity_probe`).
+        if let Err(reason) = self.machine.integrity_probe() {
+            return Err(self.panic_from(reason));
+        }
+        self.maybe_update()?;
+        self.maybe_idle_writeback()?;
+        self.maybe_checkpoint()?;
+        Ok(())
+    }
+
+    /// §2.3 footnote 1: *"We do provide a way for a system administrator
+    /// to easily enable and disable reliability disk writes for machine
+    /// maintenance or extended power outages."* With writes enabled,
+    /// `sync`/`fsync` push to disk again; call [`Kernel::sync`] afterwards
+    /// to drain the cache before powering down.
+    pub fn set_reliability_writes(&mut self, enabled: bool) {
+        self.policy.fsync_writes_disk = enabled;
+    }
+
+    /// Whether this kernel maintains Rio state.
+    pub fn rio_enabled(&self) -> bool {
+        self.rio.is_some()
+    }
+
+    /// The Rio protection mode in force, if any.
+    pub fn rio_mode(&self) -> Option<RioMode> {
+        self.policy.rio
+    }
+}

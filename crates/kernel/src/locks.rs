@@ -1,0 +1,203 @@
+//! Kernel locks as words in simulated memory, with assertion checks.
+//!
+//! Our simulated kernel is single-threaded, so locks cannot deadlock — but
+//! they *assert*: acquiring a held lock or releasing a free one panics,
+//! like `simple_lock: lock already held` in real kernels. This is how the
+//! synchronization fault of §3.1 (acquire/release that silently do nothing)
+//! manifests: the skipped operation leaves the word in the wrong state and
+//! the next consistent use panics. Table 1's synchronization row is blank
+//! for all three systems — crashes, not corruption — and that is exactly
+//! the dynamic this model produces. The lock words live in the heap region,
+//! so heap bit flips can also corrupt them.
+
+use crate::alloc::heap_map::LOCKS_OFFSET;
+use crate::error::PanicReason;
+use crate::hooks::FaultHooks;
+use rio_mem::PhysMem;
+
+/// The kernel's global locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockId {
+    /// File-system namespace lock.
+    Fs,
+    /// Allocator lock.
+    Alloc,
+    /// Buffer-cache lock.
+    Buf,
+    /// UBC lock.
+    Ubc,
+}
+
+impl LockId {
+    const ALL: [LockId; 4] = [LockId::Fs, LockId::Alloc, LockId::Buf, LockId::Ubc];
+
+    fn index(self) -> u64 {
+        match self {
+            LockId::Fs => 0,
+            LockId::Alloc => 1,
+            LockId::Buf => 2,
+            LockId::Ubc => 3,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            LockId::Fs => "fs",
+            LockId::Alloc => "alloc",
+            LockId::Buf => "buf",
+            LockId::Ubc => "ubc",
+        }
+    }
+}
+
+/// Value stored in a held lock word.
+const HELD: u64 = 1;
+
+/// The lock words, at fixed heap offsets.
+#[derive(Debug, Clone, Copy)]
+pub struct LockSet {
+    base: u64,
+}
+
+impl LockSet {
+    /// Creates the set and initializes all words to free.
+    pub fn init(mem: &mut PhysMem) -> Self {
+        let base = mem.layout().heap.start + LOCKS_OFFSET;
+        let set = LockSet { base };
+        for id in LockId::ALL {
+            mem.write_u64(set.addr(id), 0);
+        }
+        set
+    }
+
+    fn addr(&self, id: LockId) -> u64 {
+        self.base + id.index() * 8
+    }
+
+    /// Acquires a lock.
+    ///
+    /// # Errors
+    ///
+    /// Kernel panic if the word is not in the free state (double acquire,
+    /// skipped release, or a corrupted word).
+    pub fn acquire(
+        &self,
+        mem: &mut PhysMem,
+        hooks: &mut FaultHooks,
+        id: LockId,
+    ) -> Result<(), PanicReason> {
+        if hooks.skip_lock_op() {
+            return Ok(()); // the injected bug: "return without acquiring"
+        }
+        let addr = self.addr(id);
+        let v = mem.read_u64(addr);
+        if v != 0 {
+            return Err(PanicReason::Lock(format!(
+                "simple_lock: {} lock already held",
+                id.name()
+            )));
+        }
+        mem.write_u64(addr, HELD);
+        Ok(())
+    }
+
+    /// Releases a lock.
+    ///
+    /// # Errors
+    ///
+    /// Kernel panic if the word is not in the held state.
+    pub fn release(
+        &self,
+        mem: &mut PhysMem,
+        hooks: &mut FaultHooks,
+        id: LockId,
+    ) -> Result<(), PanicReason> {
+        if hooks.skip_lock_op() {
+            return Ok(()); // "return without freeing"
+        }
+        let addr = self.addr(id);
+        let v = mem.read_u64(addr);
+        if v != HELD {
+            return Err(PanicReason::Lock(format!(
+                "simple_unlock: {} lock not held",
+                id.name()
+            )));
+        }
+        mem.write_u64(addr, 0);
+        Ok(())
+    }
+
+    /// Whether a lock is currently held (test/diagnostic helper).
+    pub fn is_held(&self, mem: &PhysMem, id: LockId) -> bool {
+        mem.read_u64(self.addr(id)) == HELD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::Cadence;
+    use rio_mem::MemConfig;
+
+    fn setup() -> (PhysMem, LockSet, FaultHooks) {
+        let mut mem = PhysMem::new(MemConfig::small());
+        let set = LockSet::init(&mut mem);
+        (mem, set, FaultHooks::none())
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let (mut mem, set, mut h) = setup();
+        set.acquire(&mut mem, &mut h, LockId::Fs).unwrap();
+        assert!(set.is_held(&mem, LockId::Fs));
+        set.release(&mut mem, &mut h, LockId::Fs).unwrap();
+        assert!(!set.is_held(&mem, LockId::Fs));
+    }
+
+    #[test]
+    fn double_acquire_panics() {
+        let (mut mem, set, mut h) = setup();
+        set.acquire(&mut mem, &mut h, LockId::Buf).unwrap();
+        let err = set.acquire(&mut mem, &mut h, LockId::Buf).unwrap_err();
+        assert!(matches!(err, PanicReason::Lock(s) if s.contains("already held")));
+    }
+
+    #[test]
+    fn release_unheld_panics() {
+        let (mut mem, set, mut h) = setup();
+        let err = set.release(&mut mem, &mut h, LockId::Ubc).unwrap_err();
+        assert!(matches!(err, PanicReason::Lock(s) if s.contains("not held")));
+    }
+
+    #[test]
+    fn locks_are_independent() {
+        let (mut mem, set, mut h) = setup();
+        set.acquire(&mut mem, &mut h, LockId::Fs).unwrap();
+        set.acquire(&mut mem, &mut h, LockId::Alloc).unwrap();
+        set.release(&mut mem, &mut h, LockId::Fs).unwrap();
+        assert!(set.is_held(&mem, LockId::Alloc));
+    }
+
+    #[test]
+    fn skipped_release_causes_later_panic() {
+        let (mut mem, set, _) = setup();
+        // Skip every lock op once: the release is skipped, so the next
+        // acquire finds the lock held — the paper's sync-fault dynamic.
+        let mut h = FaultHooks {
+            lock_skip: Some(Cadence::every(2)),
+            ..FaultHooks::none()
+        };
+        set.acquire(&mut mem, &mut h, LockId::Fs).unwrap(); // op1: real
+        set.release(&mut mem, &mut h, LockId::Fs).unwrap(); // op2: SKIPPED
+        let err = set.acquire(&mut mem, &mut h, LockId::Fs).unwrap_err(); // op3: real
+        assert!(matches!(err, PanicReason::Lock(_)));
+    }
+
+    #[test]
+    fn bit_flipped_lock_word_is_caught() {
+        let (mut mem, set, mut h) = setup();
+        mem.flip_bit(mem.layout().heap.start + LOCKS_OFFSET, 0);
+        let err = set.acquire(&mut mem, &mut h, LockId::Fs).unwrap_err();
+        assert!(matches!(err, PanicReason::Lock(_)));
+    }
+}

@@ -1,0 +1,730 @@
+//! Metadata operations: buffer cache, inodes, block bitmap, directories,
+//! and the AdvFS-style journal.
+//!
+//! Every metadata mutation funnels through `Kernel::meta_update`, which
+//! implements the full §2.3 discipline when Rio is on — registry entry,
+//! shadow-paged atomicity, per-page write windows — and the policy's
+//! write-back rule (synchronous / journaled / delayed / never) otherwise.
+
+use crate::error::{KernelError, PanicReason};
+use crate::kernel::Kernel;
+use crate::ondisk::{
+    DirEntry, FileType, Inode, DIRENTS_PER_BLOCK, DIRENT_BYTES, INODE_BYTES, MAX_FILE_BLOCKS,
+    NDIRECT, NINDIRECT,
+};
+use crate::policy::MetadataPolicy;
+use rio_core::{EntryFlags, RegistryEntry};
+use rio_disk::BLOCK_SIZE;
+use rio_mem::{AddrKind, PageNum, PAGE_SIZE};
+
+impl Kernel {
+    /// Maps an internal panic reason to the syscall error, crashing the
+    /// system (shorthand used throughout the kernel).
+    pub(crate) fn die(&mut self, reason: PanicReason) -> KernelError {
+        self.panic_from(reason)
+    }
+
+    /// Acquires a kernel lock; a lock assertion failure crashes the system.
+    pub(crate) fn lock(&mut self, id: crate::locks::LockId) -> Result<(), KernelError> {
+        let m = &mut self.machine;
+        let r = m.locks.acquire(m.bus.mem_mut(), &mut m.hooks, id);
+        r.map_err(|e| self.panic_from(e))
+    }
+
+    /// Releases a kernel lock. Skipped once the system has crashed (the
+    /// unwinding path of a dying kernel does not bother).
+    pub(crate) fn unlock(&mut self, id: crate::locks::LockId) -> Result<(), KernelError> {
+        if self.is_crashed() {
+            return Ok(());
+        }
+        let m = &mut self.machine;
+        let r = m.locks.release(m.bus.mem_mut(), &mut m.hooks, id);
+        r.map_err(|e| self.panic_from(e))
+    }
+
+    /// Bounds-checks a disk block number before any device access: a wild
+    /// block number (corrupted pointer) must crash the kernel, not the
+    /// simulator.
+    pub(crate) fn check_block(&mut self, block: u64) -> Result<(), KernelError> {
+        if block >= self.geometry.num_blocks {
+            return Err(self.die(PanicReason::Consistency(
+                "block number out of range".to_owned(),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stores bytes into a file-cache page through the protected path:
+    /// opens a window when Rio protection is on, charges the toggle.
+    pub(crate) fn fc_store(
+        &mut self,
+        page: PageNum,
+        addr: u64,
+        bytes: &[u8],
+    ) -> Result<(), KernelError> {
+        if let Some(rio) = self.rio.as_mut() {
+            rio.prot.window_open(&mut self.machine.bus, page);
+        }
+        let res = self.machine.bus.store_bytes(AddrKind::Virtual, addr, bytes);
+        if let Some(rio) = self.rio.as_mut() {
+            rio.prot.window_close(&mut self.machine.bus, page);
+            self.machine.clock.charge_window();
+        }
+        res.map_err(|f| self.die(PanicReason::Mem(f)))
+    }
+
+    /// Writes a page's registry entry (no-op when Rio is off).
+    pub(crate) fn rio_write_entry(
+        &mut self,
+        page: PageNum,
+        entry: &RegistryEntry,
+    ) -> Result<(), KernelError> {
+        let Some(rio) = self.rio.as_mut() else {
+            return Ok(());
+        };
+        let Some(slot) = rio.registry.slot_for_page(page) else {
+            return Err(self.die(PanicReason::Consistency(
+                "registry: page not covered".to_owned(),
+            )));
+        };
+        let res = rio
+            .registry
+            .write_entry(&mut self.machine.bus, &mut rio.prot, slot, entry);
+        self.machine.clock.charge_window();
+        res.map_err(|f| self.die(PanicReason::Mem(f)))
+    }
+
+    /// Reads a page's registry entry; a corrupt entry crashes the kernel.
+    pub(crate) fn rio_read_entry(
+        &mut self,
+        page: PageNum,
+    ) -> Result<Option<RegistryEntry>, KernelError> {
+        let Some(rio) = self.rio.as_ref() else {
+            return Ok(None);
+        };
+        let Some(slot) = rio.registry.slot_for_page(page) else {
+            return Ok(None);
+        };
+        match rio.registry.read_entry(self.machine.bus.mem(), slot) {
+            Ok(e) => Ok(e),
+            Err(_) => Err(self.die(PanicReason::Consistency(
+                "registry: corrupt entry".to_owned(),
+            ))),
+        }
+    }
+
+    /// Clears a page's registry entry (eviction, unlink).
+    pub(crate) fn rio_clear_entry(&mut self, page: PageNum) -> Result<(), KernelError> {
+        let Some(rio) = self.rio.as_mut() else {
+            return Ok(());
+        };
+        let Some(slot) = rio.registry.slot_for_page(page) else {
+            return Ok(());
+        };
+        rio.registry
+            .clear_entry(&mut self.machine.bus, &mut rio.prot, slot)
+            .map_err(|f| self.die(PanicReason::Mem(f)))
+    }
+
+    /// Ensures a metadata block is resident in the buffer cache, returning
+    /// its page. `zero_fill` skips the disk read for a freshly allocated
+    /// block and zeroes the page instead.
+    pub(crate) fn bget(&mut self, block: u64, zero_fill: bool) -> Result<PageNum, KernelError> {
+        self.check_block(block)?;
+        if let Some(page) = self.bufcache.lookup(block) {
+            return Ok(page);
+        }
+        self.machine.clock.charge_page_op();
+        let (page, evicted) = self.bufcache.insert(block);
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                // Overflow write-back: allowed even under Rio (§2.3 — disk
+                // writes happen only when the cache overflows).
+                let data = self.machine.bus.mem().page(ev.page).to_vec();
+                let now = self.machine.clock.now();
+                self.machine.disk.submit_write(ev.key, data, now, false);
+                self.stats.overflow_writebacks += 1;
+            }
+            self.rio_clear_entry(ev.page)?;
+        }
+        if zero_fill {
+            if let Some(rio) = self.rio.as_mut() {
+                rio.prot.window_open(&mut self.machine.bus, page);
+            }
+            let res = self.machine.bzero(page.base(), PAGE_SIZE as u64);
+            if let Some(rio) = self.rio.as_mut() {
+                rio.prot.window_close(&mut self.machine.bus, page);
+            }
+            res.map_err(|e| self.die(e))?;
+        } else {
+            let now = self.machine.clock.now();
+            let (data, done) = self.machine.disk.read(block, now, false);
+            self.machine.clock.wait_until(done);
+            self.fc_store(page, page.base(), &data)?;
+        }
+        // Register the (clean) resident block.
+        let crc = self.machine.bus.page_crc(page);
+        self.rio_write_entry(
+            page,
+            &RegistryEntry {
+                flags: EntryFlags::VALID | EntryFlags::METADATA,
+                phys_page: page.0 as u32,
+                dev: 1,
+                ino: block,
+                offset: 0,
+                size: PAGE_SIZE as u32,
+                crc,
+            },
+        )?;
+        Ok(page)
+    }
+
+    /// The single funnel for metadata mutation: updates `bytes` at `off`
+    /// within `block`, with Rio's shadow-atomic protocol and the policy's
+    /// write-back rule.
+    pub(crate) fn meta_update(
+        &mut self,
+        block: u64,
+        off: usize,
+        bytes: &[u8],
+    ) -> Result<(), KernelError> {
+        self.meta_update_inner(block, off, bytes, false, true)
+    }
+
+    /// As [`Kernel::meta_update`] for an ordering-noncritical update (file
+    /// size/mtime, block pointers, allocation bitmap): real FFS writes
+    /// these asynchronously even under synchronous-metadata policy — only
+    /// name-space changes (dir entries, inode create/free) are ordered
+    /// \[Ganger94\].
+    pub(crate) fn meta_update_async(
+        &mut self,
+        block: u64,
+        off: usize,
+        bytes: &[u8],
+    ) -> Result<(), KernelError> {
+        self.meta_update_inner(block, off, bytes, false, false)
+    }
+
+    /// As [`Kernel::meta_update`] for a freshly allocated (zero-filled)
+    /// block.
+    pub(crate) fn meta_update_fresh(
+        &mut self,
+        block: u64,
+        off: usize,
+        bytes: &[u8],
+    ) -> Result<(), KernelError> {
+        self.meta_update_inner(block, off, bytes, true, true)
+    }
+
+    fn meta_update_inner(
+        &mut self,
+        block: u64,
+        off: usize,
+        bytes: &[u8],
+        fresh: bool,
+        critical: bool,
+    ) -> Result<(), KernelError> {
+        self.lock(crate::locks::LockId::Buf)?;
+        let r = self.meta_update_locked(block, off, bytes, fresh, critical);
+        self.unlock(crate::locks::LockId::Buf)?;
+        r
+    }
+
+    fn meta_update_locked(
+        &mut self,
+        block: u64,
+        off: usize,
+        bytes: &[u8],
+        fresh: bool,
+        critical: bool,
+    ) -> Result<(), KernelError> {
+        assert!(off + bytes.len() <= BLOCK_SIZE, "update within one block");
+        let page = self.bget(block, fresh)?;
+        self.machine.clock.charge_page_op();
+
+        // §2.3 atomic update: copy to shadow, repoint registry, mutate,
+        // repoint back.
+        let mut shadow_ctx = None;
+        if self.rio.is_some() {
+            let mut entry = self
+                .rio_read_entry(page)?
+                .ok_or_else(|| {
+                    PanicReason::Consistency("registry: missing metadata entry".to_owned())
+                })
+                .map_err(|e| self.die(e))?;
+            entry.flags = entry.flags.with(EntryFlags::DIRTY);
+            let rio = self.rio.as_mut().expect("rio checked");
+            let slot = rio.registry.slot_for_page(page).expect("covered");
+            let shadow = rio
+                .shadows
+                .begin_atomic(
+                    &mut self.machine.bus,
+                    &mut rio.prot,
+                    &rio.registry,
+                    slot,
+                    &mut entry,
+                )
+                .map_err(|f| self.die(PanicReason::Mem(f)))?;
+            shadow_ctx = Some((slot, entry, shadow));
+        }
+
+        self.fc_store(page, page.base() + off as u64, bytes)?;
+
+        if let Some((slot, mut entry, shadow)) = shadow_ctx {
+            let rio = self.rio.as_mut().expect("rio checked");
+            let res = match shadow {
+                Some(sh) => rio.shadows.end_atomic(
+                    &mut self.machine.bus,
+                    &mut rio.prot,
+                    &rio.registry,
+                    slot,
+                    &mut entry,
+                    sh,
+                ),
+                // Pool exhausted: non-atomic fallback, still re-CRC.
+                None => rio
+                    .registry
+                    .update_crc(&mut self.machine.bus, &mut rio.prot, slot, &mut entry),
+            };
+            res.map_err(|f| self.die(PanicReason::Mem(f)))?;
+        }
+        self.bufcache.mark_dirty(block);
+
+        // Policy write-back. Only ordering-critical updates pay the
+        // synchronous write under MetadataPolicy::Sync.
+        match self.policy.metadata {
+            MetadataPolicy::Sync if !critical => {}
+            MetadataPolicy::Sync => {
+                let data = self.machine.bus.mem().page(page).to_vec();
+                let now = self.machine.clock.now();
+                let done = self.machine.disk.submit_write(block, data, now, false);
+                self.machine.clock.wait_until(done);
+                self.stats.sync_waits += 1;
+                self.bufcache.mark_clean(block);
+            }
+            MetadataPolicy::Journal => {
+                let data = self.machine.bus.mem().page(page).to_vec();
+                self.journal_append(&data);
+            }
+            MetadataPolicy::Delayed | MetadataPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Appends one record to the journal area (asynchronous, sequential —
+    /// the AdvFS fast path).
+    pub(crate) fn journal_append(&mut self, data: &[u8]) {
+        if self.geometry.journal_blocks == 0 {
+            return;
+        }
+        let slot = self.geometry.journal_start + self.journal_head % self.geometry.journal_blocks;
+        self.journal_head += 1;
+        let now = self.machine.clock.now();
+        self.machine.disk.submit_write(slot, data.to_vec(), now, true);
+    }
+
+    // ------------------------------------------------------------------
+    // Inodes
+    // ------------------------------------------------------------------
+
+    /// Reads an inode that must be live; a free or corrupt record panics
+    /// (a referenced-but-free inode is file-system corruption).
+    pub(crate) fn read_inode(&mut self, ino: u64) -> Result<Inode, KernelError> {
+        match self.read_inode_opt(ino)? {
+            Some(i) => Ok(i),
+            None => Err(self.die(PanicReason::Consistency(
+                "inode table: reference to free inode".to_owned(),
+            ))),
+        }
+    }
+
+    /// Reads an inode record; `None` if free.
+    pub(crate) fn read_inode_opt(&mut self, ino: u64) -> Result<Option<Inode>, KernelError> {
+        if ino == 0 || ino >= self.geometry.num_inodes {
+            return Err(self.die(PanicReason::Consistency(
+                "inode number out of range".to_owned(),
+            )));
+        }
+        let (block, off) = self.geometry.inode_location(ino);
+        let page = self.bget(block, false)?;
+        let rec = self
+            .machine
+            .bus
+            .mem()
+            .slice(page.base() + off as u64, INODE_BYTES as u64)
+            .to_vec();
+        match Inode::decode(&rec) {
+            Ok(i) => Ok(i),
+            Err(()) => Err(self.die(PanicReason::Consistency(
+                "inode table: bad inode magic".to_owned(),
+            ))),
+        }
+    }
+
+    /// Writes an inode record through the metadata path (ordering-critical:
+    /// inode creation and similar name-space changes).
+    pub(crate) fn write_inode(&mut self, ino: u64, inode: &Inode) -> Result<(), KernelError> {
+        let (block, off) = self.geometry.inode_location(ino);
+        self.meta_update(block, off, &inode.encode())
+    }
+
+    /// Writes an inode record without the synchronous-ordering obligation
+    /// (size/mtime/block-pointer updates on the data path).
+    pub(crate) fn write_inode_async(&mut self, ino: u64, inode: &Inode) -> Result<(), KernelError> {
+        let (block, off) = self.geometry.inode_location(ino);
+        self.meta_update_async(block, off, &inode.encode())
+    }
+
+    /// Allocates a fresh inode of the given type.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoInodes`] when the table is full.
+    pub(crate) fn alloc_inode(&mut self, itype: FileType) -> Result<u64, KernelError> {
+        self.machine.clock.charge_page_op();
+        for ino in 1..self.geometry.num_inodes {
+            let (block, off) = self.geometry.inode_location(ino);
+            let page = self.bget(block, false)?;
+            let magic_bytes = self
+                .machine
+                .bus
+                .mem()
+                .slice(page.base() + off as u64, 4);
+            if magic_bytes.iter().all(|&b| b == 0) {
+                let mut inode = Inode::empty(itype);
+                inode.mtime = self.machine.clock.now().as_micros();
+                if itype == FileType::Dir {
+                    inode.nlink = 2;
+                }
+                self.write_inode(ino, &inode)?;
+                return Ok(ino);
+            }
+        }
+        Err(KernelError::NoInodes)
+    }
+
+    /// Frees an inode (zeroes its record).
+    pub(crate) fn free_inode(&mut self, ino: u64) -> Result<(), KernelError> {
+        let (block, off) = self.geometry.inode_location(ino);
+        self.meta_update(block, off, &[0u8; INODE_BYTES])
+    }
+
+    // ------------------------------------------------------------------
+    // Block bitmap
+    // ------------------------------------------------------------------
+
+    /// Allocates one data block.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSpace`] when the disk is full.
+    pub(crate) fn alloc_block(&mut self) -> Result<u64, KernelError> {
+        self.machine.clock.charge_page_op();
+        let g = self.geometry;
+        for b in g.data_start..g.num_blocks {
+            let (bm_block, bit) = g.bitmap_location(b);
+            let page = self.bget(bm_block, false)?;
+            let byte_addr = page.base() + (bit / 8) as u64;
+            let byte = self.machine.bus.mem().read_u8(byte_addr);
+            if byte & (1 << (bit % 8)) == 0 {
+                let new = byte | (1 << (bit % 8));
+                self.meta_update_async(bm_block, bit / 8, &[new])?;
+                return Ok(b);
+            }
+        }
+        Err(KernelError::NoSpace)
+    }
+
+    /// Frees a set of data blocks, coalescing bitmap updates per bitmap
+    /// block (one metadata write per touched bitmap block, as FFS does).
+    pub(crate) fn free_blocks(&mut self, blocks: &[u64]) -> Result<(), KernelError> {
+        use std::collections::BTreeMap;
+        let g = self.geometry;
+        let mut per_bitmap: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for &b in blocks {
+            if b < g.data_start || b >= g.num_blocks {
+                return Err(self.die(PanicReason::Consistency(
+                    "freeing non-data block".to_owned(),
+                )));
+            }
+            let (bm_block, bit) = g.bitmap_location(b);
+            per_bitmap.entry(bm_block).or_default().push(bit);
+        }
+        for (bm_block, bits) in per_bitmap {
+            let page = self.bget(bm_block, false)?;
+            let mut data = self.machine.bus.mem().page(page).to_vec();
+            for bit in bits {
+                let mask = 1u8 << (bit % 8);
+                if data[bit / 8] & mask == 0 {
+                    return Err(self.die(PanicReason::Consistency(
+                        "freeing free block".to_owned(),
+                    )));
+                }
+                data[bit / 8] &= !mask;
+            }
+            self.meta_update_async(bm_block, 0, &data)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // File block mapping
+    // ------------------------------------------------------------------
+
+    /// The disk block backing file page `idx` of `inode`, if allocated.
+    pub(crate) fn file_block(
+        &mut self,
+        inode: &Inode,
+        idx: u64,
+    ) -> Result<Option<u64>, KernelError> {
+        if idx >= MAX_FILE_BLOCKS {
+            return Err(KernelError::FileTooBig);
+        }
+        let raw = if (idx as usize) < NDIRECT {
+            inode.direct[idx as usize]
+        } else {
+            if inode.indirect == 0 {
+                return Ok(None);
+            }
+            self.check_block(inode.indirect)?;
+            let page = self.bget(inode.indirect, false)?;
+            let slot = (idx as usize - NDIRECT) * 8;
+            self.machine.bus.mem().read_u64(page.base() + slot as u64)
+        };
+        if raw == 0 {
+            return Ok(None);
+        }
+        if raw < self.geometry.data_start || raw >= self.geometry.num_blocks {
+            return Err(self.die(PanicReason::Consistency(
+                "inode: bad block pointer".to_owned(),
+            )));
+        }
+        Ok(Some(raw))
+    }
+
+    /// Records `block` as the backing store of file page `idx`, updating
+    /// the inode (and indirect block) through the metadata path. The caller
+    /// writes the inode afterwards for direct slots; indirect slots are
+    /// persisted here.
+    pub(crate) fn set_file_block(
+        &mut self,
+        ino: u64,
+        inode: &mut Inode,
+        idx: u64,
+        block: u64,
+    ) -> Result<(), KernelError> {
+        if idx >= MAX_FILE_BLOCKS {
+            return Err(KernelError::FileTooBig);
+        }
+        if (idx as usize) < NDIRECT {
+            inode.direct[idx as usize] = block;
+            self.write_inode_async(ino, inode)?;
+            return Ok(());
+        }
+        if inode.indirect == 0 {
+            let ib = self.alloc_block()?;
+            // Fresh indirect block: zero-filled.
+            self.meta_update_fresh(ib, 0, &[0u8; 8])?;
+            inode.indirect = ib;
+            self.write_inode_async(ino, inode)?;
+        }
+        let slot = (idx as usize - NDIRECT) * 8;
+        self.meta_update_async(inode.indirect, slot, &block.to_le_bytes())
+    }
+
+    /// All allocated blocks of a file (for unlink), including the indirect
+    /// block itself as the second element of the tuple.
+    pub(crate) fn collect_file_blocks(
+        &mut self,
+        inode: &Inode,
+    ) -> Result<(Vec<u64>, Option<u64>), KernelError> {
+        let mut blocks = Vec::new();
+        for &d in &inode.direct {
+            if d != 0 {
+                blocks.push(d);
+            }
+        }
+        if inode.indirect != 0 {
+            self.check_block(inode.indirect)?;
+            let page = self.bget(inode.indirect, false)?;
+            for i in 0..NINDIRECT {
+                let v = self
+                    .machine
+                    .bus
+                    .mem()
+                    .read_u64(page.base() + (i * 8) as u64);
+                if v != 0 {
+                    blocks.push(v);
+                }
+            }
+            return Ok((blocks, Some(inode.indirect)));
+        }
+        Ok((blocks, None))
+    }
+
+    // ------------------------------------------------------------------
+    // Directories
+    // ------------------------------------------------------------------
+
+    /// Number of directory entries to scan per block — the off-by-one fault
+    /// (§3.1) skews this bound, making the scan read one slot too many
+    /// (garbage past the block) or too few (missing the last entry).
+    fn dirents_scan_bound(&mut self) -> usize {
+        (DIRENTS_PER_BLOCK as i64 + self.machine.hooks.dirents_scan_skew() as i64) as usize
+    }
+
+    /// Looks a name up in a directory. Returns `(ino, dir block, slot
+    /// offset)` of the entry.
+    pub(crate) fn dir_lookup(
+        &mut self,
+        dir_ino: u64,
+        name: &str,
+    ) -> Result<Option<(u64, u64, usize)>, KernelError> {
+        let dir = self.read_inode(dir_ino)?;
+        if dir.itype != FileType::Dir {
+            return Err(KernelError::NotDir);
+        }
+        self.machine.clock.charge_namei(1);
+        let nblocks = dir.size.div_ceil(BLOCK_SIZE as u64);
+        let bound = self.dirents_scan_bound();
+        for bi in 0..nblocks {
+            let Some(block) = self.file_block(&dir, bi)? else {
+                continue;
+            };
+            let page = self.bget(block, false)?;
+            for slot in 0..bound {
+                let addr = page.base() + (slot * DIRENT_BYTES) as u64;
+                if !self.machine.bus.mem().in_bounds(addr, DIRENT_BYTES as u64) {
+                    return Err(self.die(PanicReason::Mem(rio_mem::MemFault::BadAddress {
+                        addr,
+                        len: DIRENT_BYTES as u64,
+                    })));
+                }
+                let rec = self.machine.bus.mem().slice(addr, DIRENT_BYTES as u64);
+                if let Some(e) = DirEntry::decode(rec) {
+                    if e.name == name {
+                        return Ok(Some((e.ino, block, slot * DIRENT_BYTES)));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Inserts a directory entry, extending the directory when full.
+    pub(crate) fn dir_insert(
+        &mut self,
+        dir_ino: u64,
+        name: &str,
+        ino: u64,
+    ) -> Result<(), KernelError> {
+        let mut dir = self.read_inode(dir_ino)?;
+        if dir.itype != FileType::Dir {
+            return Err(KernelError::NotDir);
+        }
+        let entry = DirEntry {
+            ino,
+            name: name.to_owned(),
+        };
+        let nblocks = dir.size.div_ceil(BLOCK_SIZE as u64);
+        // Find a free slot in existing blocks.
+        for bi in 0..nblocks {
+            let Some(block) = self.file_block(&dir, bi)? else {
+                continue;
+            };
+            let page = self.bget(block, false)?;
+            for slot in 0..DIRENTS_PER_BLOCK {
+                let addr = page.base() + (slot * DIRENT_BYTES) as u64;
+                let ino_field = self.machine.bus.mem().read_u8(addr) as u32
+                    | (self.machine.bus.mem().read_u8(addr + 1) as u32) << 8
+                    | (self.machine.bus.mem().read_u8(addr + 2) as u32) << 16
+                    | (self.machine.bus.mem().read_u8(addr + 3) as u32) << 24;
+                if ino_field == 0 {
+                    return self.meta_update(block, slot * DIRENT_BYTES, &entry.encode());
+                }
+            }
+        }
+        // Extend the directory with a new block.
+        let block = self.alloc_block()?;
+        self.set_file_block(dir_ino, &mut dir, nblocks, block)?;
+        dir.size += BLOCK_SIZE as u64;
+        dir.mtime = self.machine.clock.now().as_micros();
+        self.write_inode(dir_ino, &dir)?;
+        self.meta_update_fresh(block, 0, &entry.encode())
+    }
+
+    /// Removes a directory entry by name.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NotFound`] when absent.
+    pub(crate) fn dir_remove(&mut self, dir_ino: u64, name: &str) -> Result<u64, KernelError> {
+        match self.dir_lookup(dir_ino, name)? {
+            Some((ino, block, off)) => {
+                self.meta_update(block, off, &[0u8; DIRENT_BYTES])?;
+                Ok(ino)
+            }
+            None => Err(KernelError::NotFound),
+        }
+    }
+
+    /// All live entries of a directory.
+    pub(crate) fn dir_entries_of(&mut self, dir_ino: u64) -> Result<Vec<DirEntry>, KernelError> {
+        let dir = self.read_inode(dir_ino)?;
+        if dir.itype != FileType::Dir {
+            return Err(KernelError::NotDir);
+        }
+        let mut out = Vec::new();
+        let nblocks = dir.size.div_ceil(BLOCK_SIZE as u64);
+        for bi in 0..nblocks {
+            let Some(block) = self.file_block(&dir, bi)? else {
+                continue;
+            };
+            let page = self.bget(block, false)?;
+            for slot in 0..DIRENTS_PER_BLOCK {
+                let addr = page.base() + (slot * DIRENT_BYTES) as u64;
+                let rec = self.machine.bus.mem().slice(addr, DIRENT_BYTES as u64);
+                if let Some(e) = DirEntry::decode(rec) {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves an absolute path to `(parent inode, leaf name, leaf inode
+    /// if it exists)`.
+    pub(crate) fn namei(
+        &mut self,
+        path: &str,
+    ) -> Result<(u64, String, Option<u64>), KernelError> {
+        self.lock(crate::locks::LockId::Fs)?;
+        let r = self.namei_locked(path);
+        self.unlock(crate::locks::LockId::Fs)?;
+        r
+    }
+
+    fn namei_locked(&mut self, path: &str) -> Result<(u64, String, Option<u64>), KernelError> {
+        let components = crate::path::split_path(path)?;
+        if components.is_empty() {
+            return Err(KernelError::InvalidPath); // "/" itself has no parent
+        }
+        self.machine.clock.charge_namei(components.len() as u64);
+        let mut dir = crate::ondisk::ROOT_INO;
+        for comp in &components[..components.len() - 1] {
+            match self.dir_lookup(dir, comp)? {
+                Some((ino, _, _)) => {
+                    let inode = self.read_inode(ino)?;
+                    if inode.itype != FileType::Dir {
+                        return Err(KernelError::NotDir);
+                    }
+                    dir = ino;
+                }
+                None => return Err(KernelError::NotFound),
+            }
+        }
+        let leaf = components.last().expect("non-empty").clone();
+        let target = self.dir_lookup(dir, &leaf)?.map(|(ino, _, _)| ino);
+        Ok((dir, leaf, target))
+    }
+}

@@ -1,0 +1,66 @@
+//! Absolute-path parsing.
+
+use crate::error::KernelError;
+use crate::ondisk::MAX_NAME;
+
+/// Splits an absolute path into validated components.
+///
+/// `"/"` yields an empty list (the root itself).
+///
+/// # Errors
+///
+/// [`KernelError::InvalidPath`] for relative paths, empty components, or
+/// `.`/`..` (not supported by this kernel); [`KernelError::NameTooLong`]
+/// for oversized components.
+pub fn split_path(path: &str) -> Result<Vec<String>, KernelError> {
+    let Some(rest) = path.strip_prefix('/') else {
+        return Err(KernelError::InvalidPath);
+    };
+    let mut out = Vec::new();
+    for comp in rest.split('/') {
+        if comp.is_empty() {
+            continue; // tolerate trailing or doubled slashes
+        }
+        if comp == "." || comp == ".." {
+            return Err(KernelError::InvalidPath);
+        }
+        if comp.len() > MAX_NAME {
+            return Err(KernelError::NameTooLong);
+        }
+        out.push(comp.to_owned());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_absolute_paths() {
+        assert_eq!(split_path("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_path("/").unwrap(), Vec::<String>::new());
+        assert_eq!(split_path("/x").unwrap(), vec!["x"]);
+    }
+
+    #[test]
+    fn tolerates_redundant_slashes() {
+        assert_eq!(split_path("//a///b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_relative_and_dot_paths() {
+        assert_eq!(split_path("a/b"), Err(KernelError::InvalidPath));
+        assert_eq!(split_path("/a/./b"), Err(KernelError::InvalidPath));
+        assert_eq!(split_path("/a/../b"), Err(KernelError::InvalidPath));
+        assert_eq!(split_path(""), Err(KernelError::InvalidPath));
+    }
+
+    #[test]
+    fn rejects_oversized_names() {
+        let long = format!("/{}", "x".repeat(MAX_NAME + 1));
+        assert_eq!(split_path(&long), Err(KernelError::NameTooLong));
+        let ok = format!("/{}", "x".repeat(MAX_NAME));
+        assert!(split_path(&ok).is_ok());
+    }
+}

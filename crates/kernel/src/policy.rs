@@ -1,0 +1,175 @@
+//! Write policies: when data and metadata become permanent.
+//!
+//! Table 2 compares eight file-system configurations that differ *only* in
+//! when they push bytes to disk. The kernel implements all of the mechanics
+//! and this module expresses each configuration as data; the constructors
+//! for the paper's eight rows live in `rio-baselines`.
+
+use rio_core::RioMode;
+use rio_disk::SimTime;
+
+/// When file *data* writes reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPolicy {
+    /// Synchronously on every `write` (UFS write-through-on-write; also the
+    /// Table 1 "disk-based" system).
+    WriteThrough,
+    /// Asynchronously once `cluster_bytes` of a file have accumulated, on
+    /// non-sequential writes, and at the 30-second `update` (default UFS).
+    AsyncClustered {
+        /// Flush threshold (UFS uses 64 KB).
+        cluster_bytes: u64,
+    },
+    /// Delayed until the next `update` run (the "no-order" optimized UFS of
+    /// \[Ganger94\], and AdvFS's data path).
+    Delayed,
+    /// Never written for reliability — only on cache overflow (MemFS and
+    /// Rio).
+    Never,
+}
+
+/// When *metadata* updates reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetadataPolicy {
+    /// Synchronous ordered writes (default UFS; \[Ganger94\] explains the
+    /// cost).
+    Sync,
+    /// Delayed to the next `update` (optimized "no-order" UFS).
+    Delayed,
+    /// Appended to a sequential journal asynchronously (AdvFS).
+    Journal,
+    /// Never written for reliability (MemFS and Rio — §2.3: buffer-cache
+    /// contents are as permanent as disk).
+    Never,
+}
+
+/// A complete file-system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// Display name (Table 2 row label).
+    pub name: String,
+    /// Data write policy.
+    pub data: DataPolicy,
+    /// Metadata write policy.
+    pub metadata: MetadataPolicy,
+    /// `fsync` on `close` (UFS write-through-on-close).
+    pub fsync_on_close: bool,
+    /// Whether `fsync`/`sync` actually push to disk. Rio turns this off
+    /// (§2.3: they return immediately — memory already is permanent).
+    pub fsync_writes_disk: bool,
+    /// `update` daemon interval, if any (classic 30 s).
+    pub update_interval: Option<SimTime>,
+    /// Whether `panic` tries to flush dirty buffers to disk. Stock kernels
+    /// do; Rio must not (§2.3: a sick kernel flushing is how corrupt memory
+    /// reaches disk).
+    pub panic_flushes: bool,
+    /// Rio machinery: registry + warm-reboot support, and at which
+    /// protection level. `None` disables Rio entirely (disk-based rows).
+    pub rio: Option<RioMode>,
+    /// Dirty-data throttle: when the UBC holds more than this many dirty
+    /// bytes, writers block until the disk queue drains (classic kernels
+    /// bound dirty buffers this way; it is what makes a delayed-write
+    /// system measurably slower than Rio, which never intends to write).
+    pub throttle_dirty_bytes: Option<u64>,
+    /// §2.3's suggested future work: trickle dirty data to disk once the
+    /// disk has been idle this long. Costs nothing on a busy system and
+    /// shrinks the crash-loss window of delayed-write policies. Rio itself
+    /// can also use it as a belt-and-suspenders mode.
+    pub idle_writeback_after: Option<SimTime>,
+    /// Phoenix-style operation (\[Gait90\], compared in §6): file pages are
+    /// made recoverable only at periodic checkpoints instead of at every
+    /// write. Between checkpoints, modified pages are marked CHANGING in
+    /// the registry, so a crash loses everything written since the last
+    /// checkpoint — exactly the difference the paper draws: "Phoenix does
+    /// not ensure the reliability of every write".
+    pub checkpoint_interval: Option<SimTime>,
+}
+
+impl Policy {
+    /// Whether this configuration maintains the Rio registry.
+    pub fn rio_enabled(&self) -> bool {
+        self.rio.is_some()
+    }
+
+    /// The Table 1 "disk-based" system: write-through everything, no Rio.
+    pub fn disk_write_through() -> Policy {
+        Policy {
+            name: "UFS write-through-on-write".to_owned(),
+            data: DataPolicy::WriteThrough,
+            metadata: MetadataPolicy::Sync,
+            fsync_on_close: true,
+            fsync_writes_disk: true,
+            update_interval: Some(SimTime::from_secs(30)),
+            panic_flushes: true,
+            rio: None,
+            throttle_dirty_bytes: Some(2 * 1024 * 1024),
+            idle_writeback_after: None,
+            checkpoint_interval: None,
+        }
+    }
+
+    /// Rio at the given protection level: no reliability writes at all.
+    pub fn rio(mode: RioMode) -> Policy {
+        Policy {
+            name: match mode {
+                RioMode::Unprotected => "Rio without protection",
+                RioMode::Protected => "Rio with protection",
+                RioMode::CodePatched => "Rio (code patching)",
+            }
+            .to_owned(),
+            data: DataPolicy::Never,
+            metadata: MetadataPolicy::Never,
+            fsync_on_close: false,
+            fsync_writes_disk: false,
+            update_interval: None,
+            panic_flushes: false,
+            rio: Some(mode),
+            throttle_dirty_bytes: None,
+            idle_writeback_after: None,
+            checkpoint_interval: None,
+        }
+    }
+
+    /// A Phoenix-like configuration (\[Gait90\]): same memory-resident cache
+    /// and warm reboot as Rio, but file pages become recoverable only at
+    /// periodic checkpoints.
+    pub fn phoenix(mode: RioMode, interval: SimTime) -> Policy {
+        Policy {
+            name: format!("Phoenix-style ({}s checkpoints)", interval.as_secs_f64()),
+            checkpoint_interval: Some(interval),
+            ..Policy::rio(mode)
+        }
+    }
+
+    /// Returns this policy with idle-period write-back enabled (§2.3's
+    /// "writing to disk during idle periods" future-work experiment).
+    pub fn with_idle_writeback(mut self, after: SimTime) -> Policy {
+        self.idle_writeback_after = Some(after);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rio_policy_issues_no_reliability_writes() {
+        let p = Policy::rio(RioMode::Protected);
+        assert_eq!(p.data, DataPolicy::Never);
+        assert_eq!(p.metadata, MetadataPolicy::Never);
+        assert!(!p.fsync_writes_disk);
+        assert!(!p.panic_flushes);
+        assert!(p.rio_enabled());
+    }
+
+    #[test]
+    fn disk_write_through_is_fully_synchronous() {
+        let p = Policy::disk_write_through();
+        assert_eq!(p.data, DataPolicy::WriteThrough);
+        assert_eq!(p.metadata, MetadataPolicy::Sync);
+        assert!(p.fsync_writes_disk);
+        assert!(p.panic_flushes);
+        assert!(!p.rio_enabled());
+    }
+}

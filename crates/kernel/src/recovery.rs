@@ -1,0 +1,95 @@
+//! Boot paths after a crash: warm reboot (Rio) and cold boot (disk-based).
+//!
+//! The warm reboot follows §2.2's two steps. First, before the file system
+//! initializes, the preserved memory image is scanned and recovered
+//! metadata blocks are restored to their disk addresses, "so that the file
+//! system is intact before being checked for consistency by fsck". Then
+//! fsck runs, the file system mounts, and a user-level process replays the
+//! recovered file pages through normal system calls.
+
+use crate::error::KernelError;
+use crate::fsck::{self, FsckReport};
+use crate::kernel::{Kernel, KernelConfig};
+use crate::machine::Machine;
+use rio_core::warm::{self, WarmRebootStats};
+use rio_disk::SimDisk;
+use rio_mem::PhysMem;
+
+/// Everything a reboot reports.
+#[derive(Debug, Clone, Default)]
+pub struct BootReport {
+    /// Warm-reboot scanner statistics (absent on a cold boot).
+    pub warm: Option<WarmRebootStats>,
+    /// fsck findings.
+    pub fsck: FsckReport,
+    /// File pages successfully replayed.
+    pub pages_replayed: u64,
+    /// File pages whose inode no longer exists (dropped).
+    pub pages_unreplayable: u64,
+}
+
+impl Kernel {
+    /// Warm boot (§2.2): scan the preserved image, restore metadata, fsck,
+    /// mount, replay file data.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadSuperblock`] when even fsck cannot make the volume
+    /// mountable (total loss; the campaign counts it as corruption).
+    pub fn warm_boot(
+        config: &KernelConfig,
+        image: &PhysMem,
+        mut disk: SimDisk,
+    ) -> Result<(Kernel, BootReport), KernelError> {
+        // Step 1: dump analysis + metadata restore (pre-fsck).
+        let recovery = warm::scan_registry(image);
+        warm::restore_metadata(&recovery, &mut disk);
+
+        // Step 2: fsck + mount on a fresh machine.
+        let fsck_report = fsck::repair(&mut disk).map_err(|_| KernelError::BadSuperblock)?;
+        let mut machine = Machine::new(&config.machine);
+        machine.disk = disk;
+        let mut kernel = Kernel::mount(machine, config)?;
+
+        // Step 3: user-level replay of recovered file pages through normal
+        // system calls.
+        let mut report = BootReport {
+            warm: Some(recovery.stats),
+            fsck: fsck_report,
+            ..BootReport::default()
+        };
+        let mut pages = recovery.file_pages;
+        pages.sort_by_key(|p| (p.ino, p.offset));
+        for p in &pages {
+            match kernel.pwrite_ino(p.ino, p.offset, &p.data) {
+                Ok(()) => report.pages_replayed += 1,
+                Err(KernelError::NotFound) => report.pages_unreplayable += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((kernel, report))
+    }
+
+    /// Cold boot: fsck + mount; whatever memory held is gone.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::warm_boot`].
+    pub fn cold_boot(
+        config: &KernelConfig,
+        mut disk: SimDisk,
+    ) -> Result<(Kernel, BootReport), KernelError> {
+        let fsck_report = fsck::repair(&mut disk).map_err(|_| KernelError::BadSuperblock)?;
+        let mut machine = Machine::new(&config.machine);
+        machine.disk = disk;
+        let kernel = Kernel::mount(machine, config)?;
+        Ok((
+            kernel,
+            BootReport {
+                warm: None,
+                fsck: fsck_report,
+                ..BootReport::default()
+            },
+        ))
+    }
+}

@@ -1,0 +1,153 @@
+//! The §2.3 future-work extension: idle-period write-back.
+//!
+//! "Less extreme approaches such as writing to disk during idle periods
+//! may improve system responsiveness, and we plan to experiment with this
+//! in the future." — we did. These tests show the extension shrinks the
+//! crash-loss window of a delayed-write system at no synchronous cost, and
+//! does not disturb Rio's zero-reliability-write property unless opted in.
+
+use rio_disk::SimTime;
+use rio_kernel::{
+    DataPolicy, Kernel, KernelConfig, MetadataPolicy, PanicReason, Policy,
+};
+
+fn delayed(idle: Option<SimTime>) -> Policy {
+    Policy {
+        name: "delayed".to_owned(),
+        data: DataPolicy::Delayed,
+        metadata: MetadataPolicy::Delayed,
+        fsync_on_close: false,
+        fsync_writes_disk: true,
+        update_interval: Some(SimTime::from_secs(300)), // update far away
+        panic_flushes: false, // isolate the idle-writeback effect
+        rio: None,
+        throttle_dirty_bytes: None,
+        idle_writeback_after: idle,
+        checkpoint_interval: None,
+    }
+}
+
+fn write_then_idle_then_crash(policy: Policy) -> (Kernel, KernelConfig) {
+    let config = KernelConfig::small(policy);
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/doc").unwrap();
+    k.write(fd, &vec![0xD0; 16384]).unwrap();
+    k.close(fd).unwrap();
+    // The user thinks; the disk idles. Poke the kernel with reads so the
+    // idle hook gets a chance to run (it piggybacks on syscall entry).
+    for _ in 0..8 {
+        let wake = k.machine.clock.now() + SimTime::from_secs(2);
+        k.machine.clock.idle_until(wake);
+        k.stat("/doc").unwrap();
+    }
+    k.crash_now(PanicReason::Watchdog);
+    (k, config)
+}
+
+#[test]
+fn idle_writeback_saves_delayed_data_across_a_crash() {
+    // Without the extension: data lost (it was purely delayed).
+    let (k, config) = write_then_idle_then_crash(delayed(None));
+    let (_image, disk) = k.into_crash_artifacts();
+    let (mut cold, _) = Kernel::cold_boot(&config, disk).unwrap();
+    let lost = cold.file_contents("/doc").map(|d| d.len()).unwrap_or(0);
+    assert_eq!(lost, 0, "pure delayed write should have lost the data");
+
+    // With the extension: the idle trickle pushed it out.
+    let (k, config) =
+        write_then_idle_then_crash(delayed(Some(SimTime::from_secs(1))));
+    let (_image, disk) = k.into_crash_artifacts();
+    let (mut cold, _) = Kernel::cold_boot(&config, disk).unwrap();
+    assert_eq!(
+        cold.file_contents("/doc").unwrap(),
+        vec![0xD0; 16384],
+        "idle write-back should have made the data durable"
+    );
+}
+
+#[test]
+fn idle_writeback_never_blocks_the_writer() {
+    // Writes complete at memory speed whether or not the trickle runs.
+    let run = |policy: Policy| {
+        let config = KernelConfig::small(policy);
+        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+        let fd = k.create("/t").unwrap();
+        let t0 = k.machine.clock.now();
+        for _ in 0..8 {
+            k.write(fd, &vec![1; 8192]).unwrap();
+        }
+        let elapsed = k.machine.clock.now().saturating_sub(t0);
+        (elapsed, k.stats().sync_waits)
+    };
+    let (plain, waits_plain) = run(delayed(None));
+    let (trickle, waits_trickle) = run(delayed(Some(SimTime::from_millis(1))));
+    assert_eq!(waits_plain, waits_trickle, "no new synchronous waits");
+    // Allow small jitter from the trickle's own bookkeeping.
+    assert!(trickle.as_micros() < plain.as_micros() * 2);
+}
+
+#[test]
+fn rio_stays_write_free_without_the_extension() {
+    use rio_core::RioMode;
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/pure").unwrap();
+    k.write(fd, &vec![3; 8192]).unwrap();
+    k.close(fd).unwrap();
+    for _ in 0..5 {
+        let wake = k.machine.clock.now() + SimTime::from_secs(5);
+        k.machine.clock.idle_until(wake);
+        k.stat("/pure").unwrap();
+    }
+    assert_eq!(k.machine.disk.stats().writes, 0);
+}
+
+#[test]
+fn rio_with_belt_and_suspenders_trickles_too() {
+    use rio_core::RioMode;
+    let policy = Policy::rio(RioMode::Protected)
+        .with_idle_writeback(SimTime::from_secs(1));
+    let config = KernelConfig::small(policy);
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/belt").unwrap();
+    k.write(fd, &vec![9; 8192]).unwrap();
+    k.close(fd).unwrap();
+    for _ in 0..6 {
+        let wake = k.machine.clock.now() + SimTime::from_secs(2);
+        k.machine.clock.idle_until(wake);
+        k.stat("/belt").unwrap();
+    }
+    assert!(
+        k.machine.disk.stats().writes > 0,
+        "opt-in trickle should write during idle"
+    );
+    // And warm reboot still works on top.
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
+    assert_eq!(k2.file_contents("/belt").unwrap(), vec![9; 8192]);
+}
+
+#[test]
+fn admin_switch_drains_rio_to_disk_for_maintenance() {
+    // §2.3 footnote 1: before maintenance or an extended power outage, the
+    // administrator re-enables reliability writes and syncs.
+    use rio_core::RioMode;
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/precious").unwrap();
+    k.write(fd, &vec![0x77; 20_000]).unwrap();
+    k.close(fd).unwrap();
+    assert_eq!(k.machine.disk.stats().writes, 0);
+
+    k.set_reliability_writes(true);
+    k.sync().unwrap();
+    assert!(k.machine.disk.stats().writes > 0);
+
+    // Power the machine fully off (memory gone): a COLD boot finds the
+    // data on disk.
+    k.crash_now(PanicReason::Watchdog);
+    let (_image, disk) = k.into_crash_artifacts();
+    let (mut k2, _) = Kernel::cold_boot(&config, disk).unwrap();
+    assert_eq!(k2.file_contents("/precious").unwrap(), vec![0x77; 20_000]);
+}

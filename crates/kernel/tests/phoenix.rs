@@ -1,0 +1,108 @@
+//! The Phoenix comparison (§6 related work).
+//!
+//! Phoenix \[Gait90\] keeps an in-memory file system safe via periodic
+//! checkpoints. The paper's critique: *"Phoenix does not ensure the
+//! reliability of every write; instead, writes are only made permanent at
+//! periodic checkpoints"* (and it pays for duplicate pages). These tests
+//! demonstrate both halves of the comparison on the shared substrate.
+
+use rio_core::RioMode;
+use rio_disk::SimTime;
+use rio_kernel::{Kernel, KernelConfig, PanicReason, Policy};
+
+fn phoenix_config() -> KernelConfig {
+    KernelConfig::small(Policy::phoenix(
+        RioMode::Protected,
+        SimTime::from_secs(5),
+    ))
+}
+
+#[test]
+fn writes_before_a_checkpoint_are_lost_writes_after_survive() {
+    let config = phoenix_config();
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+
+    // First batch, then force a checkpoint.
+    let fd = k.create("/pre").unwrap();
+    k.write(fd, &vec![0xAA; 9000]).unwrap();
+    k.close(fd).unwrap();
+    let committed = k.checkpoint_now().unwrap();
+    assert!(committed > 0, "checkpoint walked the dirty pages");
+
+    // Second batch, crash before the next checkpoint.
+    let fd = k.create("/post").unwrap();
+    k.write(fd, &vec![0xBB; 9000]).unwrap();
+    k.close(fd).unwrap();
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, report) = Kernel::warm_boot(&config, &image, disk).unwrap();
+
+    // Checkpointed data survives; post-checkpoint data was CHANGING and
+    // dropped — exactly the paper's distinction from Rio.
+    assert_eq!(k2.file_contents("/pre").unwrap(), vec![0xAA; 9000]);
+    let post = k2.file_contents("/post").unwrap_or_default();
+    assert_ne!(post, vec![0xBB; 9000], "Phoenix must lose uncheckpointed data");
+    assert!(report.warm.unwrap().dropped_changing > 0);
+}
+
+#[test]
+fn rio_keeps_what_phoenix_loses() {
+    // Identical crash scenario under plain Rio: everything survives.
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/post").unwrap();
+    k.write(fd, &vec![0xBB; 9000]).unwrap();
+    k.close(fd).unwrap();
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
+    assert_eq!(k2.file_contents("/post").unwrap(), vec![0xBB; 9000]);
+}
+
+#[test]
+fn checkpoints_fire_on_schedule() {
+    let config = phoenix_config();
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/tick").unwrap();
+    k.write(fd, &vec![1; 4096]).unwrap();
+    k.close(fd).unwrap();
+    // Let the interval pass; the next syscall triggers the checkpoint.
+    let wake = k.machine.clock.now() + SimTime::from_secs(6);
+    k.machine.clock.idle_until(wake);
+    k.stat("/tick").unwrap();
+    // Crash now: data survives because the scheduled checkpoint committed
+    // it.
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
+    assert_eq!(k2.file_contents("/tick").unwrap(), vec![1; 4096]);
+}
+
+#[test]
+fn phoenix_pays_checkpoint_copy_costs_rio_does_not() {
+    let run = |policy: Policy, checkpoint_every_ops: Option<u64>| {
+        let config = KernelConfig::small(policy);
+        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+        let t0 = k.machine.clock.now();
+        for i in 0..24 {
+            let fd = k.create(&format!("/f{i}")).unwrap();
+            k.write(fd, &vec![i as u8; 8192]).unwrap();
+            k.close(fd).unwrap();
+            if let Some(every) = checkpoint_every_ops {
+                if (i + 1) % every == 0 {
+                    k.checkpoint_now().unwrap();
+                }
+            }
+        }
+        k.machine.clock.now().saturating_sub(t0)
+    };
+    let rio = run(Policy::rio(RioMode::Protected), None);
+    let phoenix = run(
+        Policy::phoenix(RioMode::Protected, SimTime::from_secs(3600)),
+        Some(4),
+    );
+    assert!(
+        phoenix > rio,
+        "Phoenix's checkpoint copies must cost more than Rio ({phoenix} vs {rio})"
+    );
+}

@@ -1,0 +1,440 @@
+//! The memory bus: the only path by which simulated kernel code reaches
+//! physical memory.
+//!
+//! Every store carries an [`AddrKind`] describing its route — a normal
+//! virtual address translated by the TLB, or a KSEG physical address that
+//! (on a stock Alpha) bypasses translation. The bus consults the
+//! [`ProtectionTable`] and refuses stores that hit a write-protected page
+//! through a checked route, returning [`MemFault::ProtectionViolation`]; the
+//! simulated kernel turns that into a panic, which is how Rio-with-protection
+//! halts a wild store before it corrupts the file cache (§3.3 records eight
+//! such saves).
+//!
+//! Loads never trap on protection (read permission is always granted), but
+//! both loads and stores are bounds-checked: an out-of-range address is a
+//! [`MemFault::BadAddress`], the simulator's analogue of the illegal-address
+//! machine checks that, per the paper, catch most wild accesses on a 64-bit
+//! machine.
+
+use crate::layout::MemLayout;
+use crate::page::{PageNum, PAGE_SIZE};
+use crate::phys::PhysMem;
+use crate::prot::{ProtectionMode, ProtectionTable};
+use crate::MemConfig;
+
+/// The route by which an access reaches memory (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrKind {
+    /// Normal kernel virtual address, translated by the TLB; obeys
+    /// write-permission bits.
+    Virtual,
+    /// KSEG physical address. On a stock Alpha this bypasses the TLB and so
+    /// bypasses protection — unless the machine forces KSEG through the TLB.
+    Kseg,
+}
+
+impl AddrKind {
+    fn is_kseg(self) -> bool {
+        matches!(self, AddrKind::Kseg)
+    }
+}
+
+/// A failed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// The access touched an address outside physical memory — the
+    /// simulator's "illegal address" machine check.
+    BadAddress {
+        /// Faulting byte address.
+        addr: u64,
+        /// Span length of the access.
+        len: u64,
+    },
+    /// A store hit a write-protected page through a checked route.
+    ProtectionViolation {
+        /// Faulting byte address.
+        addr: u64,
+        /// The protected page.
+        page: PageNum,
+        /// Whether the store was issued with a KSEG address.
+        kseg: bool,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::BadAddress { addr, len } => {
+                write!(f, "illegal address {addr:#x} (span {len})")
+            }
+            MemFault::ProtectionViolation { addr, page, kseg } => write!(
+                f,
+                "write-protection violation at {addr:#x} ({page}, {} route)",
+                if *kseg { "kseg" } else { "virtual" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Counters kept by the bus; feeds the performance model and the Table 1
+/// "protection trap" statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Number of load operations.
+    pub loads: u64,
+    /// Number of store operations (attempted, including trapped ones).
+    pub stores: u64,
+    /// Total bytes moved by successful loads and stores.
+    pub bytes_moved: u64,
+    /// Stores refused because of write protection.
+    pub protection_traps: u64,
+    /// Software checks performed in code-patching mode (each costs CPU time).
+    pub patch_checks: u64,
+}
+
+/// Physical memory plus protection state plus access accounting.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct MemBus {
+    mem: PhysMem,
+    prot: ProtectionTable,
+    stats: AccessStats,
+}
+
+impl MemBus {
+    /// Builds a bus over fresh zeroed memory with protection disabled.
+    pub fn new(config: MemConfig) -> Self {
+        MemBus {
+            mem: PhysMem::new(config),
+            prot: ProtectionTable::disabled(),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Re-attaches a bus to a preserved memory image (used after a warm
+    /// reboot to inspect the crashed machine's DRAM).
+    pub fn from_image(mem: PhysMem, prot: ProtectionTable) -> Self {
+        MemBus {
+            mem,
+            prot,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The region layout.
+    pub fn layout(&self) -> &MemLayout {
+        self.mem.layout()
+    }
+
+    /// Raw access to the memory cells (fault injection, warm reboot).
+    pub fn mem(&self) -> &PhysMem {
+        &self.mem
+    }
+
+    /// Raw mutable access to the memory cells. This bypasses protection by
+    /// design: bit flips corrupt DRAM directly, exactly as in §3.1.
+    pub fn mem_mut(&mut self) -> &mut PhysMem {
+        &mut self.mem
+    }
+
+    /// Consumes the bus and returns the memory image — the "DRAM surviving
+    /// the crash" handed to the warm reboot.
+    pub fn into_image(self) -> PhysMem {
+        self.mem
+    }
+
+    /// The protection table.
+    pub fn protection(&self) -> &ProtectionTable {
+        &self.prot
+    }
+
+    /// Mutable protection table (file-cache procedures toggle permission
+    /// bits around legitimate stores).
+    pub fn protection_mut(&mut self) -> &mut ProtectionTable {
+        &mut self.prot
+    }
+
+    /// Access counters so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets access counters (e.g. between measurement intervals).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    fn check_bounds(&self, addr: u64, len: u64) -> Result<(), MemFault> {
+        if self.mem.in_bounds(addr, len) {
+            Ok(())
+        } else {
+            Err(MemFault::BadAddress { addr, len })
+        }
+    }
+
+    fn check_store(&mut self, addr: u64, len: u64, kind: AddrKind) -> Result<(), MemFault> {
+        self.check_bounds(addr, len)?;
+        if self.prot.mode() == ProtectionMode::CodePatching {
+            self.stats.patch_checks += 1;
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        let first = PageNum::containing(addr);
+        let last = PageNum::containing(addr + len - 1);
+        for pn in first.0..=last.0 {
+            let pn = PageNum(pn);
+            if self.prot.store_would_trap(pn, kind.is_kseg()) {
+                self.stats.protection_traps += 1;
+                let fault_addr = addr.max(pn.base());
+                return Err(MemFault::ProtectionViolation {
+                    addr: fault_addr,
+                    page: pn,
+                    kseg: kind.is_kseg(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BadAddress`] if out of bounds.
+    pub fn load_u8(&mut self, _kind: AddrKind, addr: u64) -> Result<u8, MemFault> {
+        self.check_bounds(addr, 1)?;
+        self.stats.loads += 1;
+        self.stats.bytes_moved += 1;
+        Ok(self.mem.read_u8(addr))
+    }
+
+    /// Loads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BadAddress`] if any byte of the span is out of bounds.
+    pub fn load_u64(&mut self, _kind: AddrKind, addr: u64) -> Result<u64, MemFault> {
+        self.check_bounds(addr, 8)?;
+        self.stats.loads += 1;
+        self.stats.bytes_moved += 8;
+        Ok(self.mem.read_u64(addr))
+    }
+
+    /// Loads `buf.len()` bytes into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BadAddress`] if the span is out of bounds.
+    pub fn load_bytes(&mut self, _kind: AddrKind, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.check_bounds(addr, buf.len() as u64)?;
+        self.stats.loads += 1;
+        self.stats.bytes_moved += buf.len() as u64;
+        buf.copy_from_slice(self.mem.slice(addr, buf.len() as u64));
+        Ok(())
+    }
+
+    /// Stores one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BadAddress`] if out of bounds;
+    /// [`MemFault::ProtectionViolation`] if the page is write-protected via
+    /// a checked route.
+    pub fn store_u8(&mut self, kind: AddrKind, addr: u64, value: u8) -> Result<(), MemFault> {
+        self.stats.stores += 1;
+        self.check_store(addr, 1, kind)?;
+        self.stats.bytes_moved += 1;
+        self.mem.write_u8(addr, value);
+        Ok(())
+    }
+
+    /// Stores a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemBus::store_u8`].
+    pub fn store_u64(&mut self, kind: AddrKind, addr: u64, value: u64) -> Result<(), MemFault> {
+        self.stats.stores += 1;
+        self.check_store(addr, 8, kind)?;
+        self.stats.bytes_moved += 8;
+        self.mem.write_u64(addr, value);
+        Ok(())
+    }
+
+    /// Stores a byte slice.
+    ///
+    /// The store is all-or-nothing with respect to protection: if *any* page
+    /// in the span is protected, no byte is written. (A real CPU would trap
+    /// mid-copy; all our kernel routines copy page-at-a-time, so the
+    /// distinction is unobservable, and all-or-nothing keeps the model
+    /// simple.)
+    ///
+    /// # Errors
+    ///
+    /// As [`MemBus::store_u8`].
+    pub fn store_bytes(&mut self, kind: AddrKind, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.stats.stores += 1;
+        self.check_store(addr, data.len() as u64, kind)?;
+        self.stats.bytes_moved += data.len() as u64;
+        self.mem.write_bytes(addr, data);
+        Ok(())
+    }
+
+    /// Convenience: CRC32 of a page's current contents.
+    pub fn page_crc(&self, pn: PageNum) -> u32 {
+        crate::checksum::crc32(self.mem.page(pn))
+    }
+
+    /// Convenience: CRC32 of an arbitrary span (bounds-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BadAddress`] if the span is out of bounds.
+    pub fn span_crc(&self, addr: u64, len: u64) -> Result<u32, MemFault> {
+        if !self.mem.in_bounds(addr, len) {
+            return Err(MemFault::BadAddress { addr, len });
+        }
+        Ok(crate::checksum::crc32(self.mem.slice(addr, len)))
+    }
+}
+
+/// Page size re-exported next to the bus for convenience.
+pub const BUS_PAGE_SIZE: usize = PAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prot::ProtectionMode;
+
+    fn bus() -> MemBus {
+        MemBus::new(MemConfig::small())
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut b = bus();
+        b.store_u64(AddrKind::Virtual, 64, 0xDEAD_BEEF).unwrap();
+        assert_eq!(b.load_u64(AddrKind::Virtual, 64).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn out_of_bounds_is_bad_address() {
+        let mut b = bus();
+        let end = b.mem().len();
+        assert_eq!(
+            b.load_u8(AddrKind::Virtual, end),
+            Err(MemFault::BadAddress { addr: end, len: 1 })
+        );
+        assert_eq!(
+            b.store_u64(AddrKind::Virtual, end - 4, 1),
+            Err(MemFault::BadAddress { addr: end - 4, len: 8 })
+        );
+    }
+
+    #[test]
+    fn protected_page_traps_virtual_store() {
+        let mut b = bus();
+        let addr = b.layout().ubc.start;
+        let pn = PageNum::containing(addr);
+        b.protection_mut().set_mode(ProtectionMode::Hardware);
+        b.protection_mut().protect(pn);
+        let err = b.store_u8(AddrKind::Virtual, addr, 1).unwrap_err();
+        assert!(matches!(err, MemFault::ProtectionViolation { page, kseg: false, .. } if page == pn));
+        assert_eq!(b.stats().protection_traps, 1);
+        // Memory unchanged.
+        assert_eq!(b.mem().read_u8(addr), 0);
+    }
+
+    #[test]
+    fn kseg_store_bypasses_protection_without_abox_bit() {
+        let mut b = bus();
+        let addr = b.layout().ubc.start;
+        let pn = PageNum::containing(addr);
+        b.protection_mut().set_mode(ProtectionMode::Hardware);
+        b.protection_mut().set_kseg_through_tlb(false);
+        b.protection_mut().protect(pn);
+        // The hole Rio closes: a KSEG store lands despite protection.
+        b.store_u8(AddrKind::Kseg, addr, 0x55).unwrap();
+        assert_eq!(b.mem().read_u8(addr), 0x55);
+        // Close the hole.
+        b.protection_mut().set_kseg_through_tlb(true);
+        assert!(b.store_u8(AddrKind::Kseg, addr, 0x66).is_err());
+        assert_eq!(b.mem().read_u8(addr), 0x55);
+    }
+
+    #[test]
+    fn multi_page_store_checks_every_page() {
+        let mut b = bus();
+        let ubc = b.layout().ubc;
+        b.protection_mut().set_mode(ProtectionMode::Hardware);
+        // Protect the second UBC page; write a span straddling pages 1-2.
+        let second = PageNum::containing(ubc.start + PAGE_SIZE as u64);
+        b.protection_mut().protect(second);
+        let span_start = ubc.start + PAGE_SIZE as u64 - 4;
+        let err = b
+            .store_bytes(AddrKind::Virtual, span_start, &[1u8; 16])
+            .unwrap_err();
+        assert!(matches!(err, MemFault::ProtectionViolation { page, .. } if page == second));
+        // All-or-nothing: first page bytes not written either.
+        assert_eq!(b.mem().read_u8(span_start), 0);
+    }
+
+    #[test]
+    fn code_patching_counts_checks_and_traps_kseg() {
+        let mut b = bus();
+        let addr = b.layout().buffer_cache.start;
+        let pn = PageNum::containing(addr);
+        b.protection_mut().set_mode(ProtectionMode::CodePatching);
+        b.protection_mut().protect(pn);
+        assert!(b.store_u8(AddrKind::Kseg, addr, 1).is_err());
+        b.protection_mut().unprotect(pn);
+        b.store_u8(AddrKind::Kseg, addr, 1).unwrap();
+        assert_eq!(b.stats().patch_checks, 2);
+    }
+
+    #[test]
+    fn stats_count_loads_stores_bytes() {
+        let mut b = bus();
+        b.store_bytes(AddrKind::Virtual, 0, &[0u8; 100]).unwrap();
+        let mut buf = [0u8; 50];
+        b.load_bytes(AddrKind::Virtual, 0, &mut buf).unwrap();
+        let s = b.stats();
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.bytes_moved, 150);
+        b.reset_stats();
+        assert_eq!(b.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn page_crc_detects_change() {
+        let mut b = bus();
+        let pn = PageNum::containing(b.layout().ubc.start);
+        let before = b.page_crc(pn);
+        b.mem_mut().flip_bit(pn.base() + 123, 3);
+        assert_ne!(b.page_crc(pn), before);
+    }
+
+    #[test]
+    fn span_crc_bounds_checked() {
+        let b = bus();
+        assert!(b.span_crc(b.mem().len(), 1).is_err());
+        assert!(b.span_crc(0, 16).is_ok());
+    }
+
+    #[test]
+    fn fault_display_mentions_route() {
+        let f = MemFault::ProtectionViolation {
+            addr: 0x2000,
+            page: PageNum(1),
+            kseg: true,
+        };
+        let s = f.to_string();
+        assert!(s.contains("kseg"));
+        assert!(s.contains("0x2000"));
+    }
+}

@@ -1,0 +1,78 @@
+//! CRC32 (IEEE 802.3 polynomial) used for file-cache block checksums.
+//!
+//! §3.2 of the paper maintains "a checksum of each memory block in the file
+//! cache": every legitimate writer updates the checksum, so an unintentional
+//! store leaves the block inconsistent and is detected after the crash. We
+//! implement CRC32 in-repo (table-driven, reflected 0xEDB88320) rather than
+//! pulling a dependency; it is also used to protect registry entries.
+
+/// Lazily built 256-entry CRC table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC32 of a byte slice.
+///
+/// # Example
+///
+/// ```
+/// // Standard test vector: CRC32("123456789") = 0xCBF43926.
+/// assert_eq!(rio_mem::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed chunks through repeated calls, starting from
+/// `0xFFFF_FFFF` and XOR-finalizing with `0xFFFF_FFFF`.
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = state;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"hello, rio file cache";
+        let whole = crc32(data);
+        let mut st = 0xFFFF_FFFF;
+        for chunk in data.chunks(5) {
+            st = crc32_update(st, chunk);
+        }
+        assert_eq!(st ^ 0xFFFF_FFFF, whole);
+    }
+
+    #[test]
+    fn single_bit_changes_checksum() {
+        let mut data = vec![0u8; 8192];
+        let before = crc32(&data);
+        data[4000] ^= 0x10;
+        assert_ne!(crc32(&data), before);
+    }
+}

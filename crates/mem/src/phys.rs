@@ -1,0 +1,194 @@
+//! The raw physical-memory image.
+//!
+//! [`PhysMem`] is a flat byte array with *no* protection semantics: it is
+//! what the DRAM chips hold. Protection is enforced one level up, by
+//! [`MemBus`](crate::bus::MemBus), because protection is a property of the
+//! access path (TLB), not of the memory cells. Two kinds of client touch
+//! `PhysMem` directly:
+//!
+//! * fault injection (bit flips model electrical corruption of cells), and
+//! * the warm-reboot scanner, which reads the preserved image of a crashed
+//!   machine.
+
+use crate::layout::{MemConfig, MemLayout};
+use crate::page::{PageNum, PAGE_SIZE};
+
+/// A byte-addressable physical memory image plus its region layout.
+///
+/// Cloning a `PhysMem` snapshots the DRAM contents; the crash harness clones
+/// the image at crash time to model memory surviving a reboot.
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    layout: MemLayout,
+    bytes: Vec<u8>,
+}
+
+impl PhysMem {
+    /// Allocates zeroed memory for the given configuration.
+    pub fn new(config: MemConfig) -> Self {
+        let layout = MemLayout::new(config);
+        PhysMem {
+            layout,
+            bytes: vec![0u8; layout.total_bytes() as usize],
+        }
+    }
+
+    /// The region layout of this memory.
+    pub fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Whether the memory has zero size (never true for a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Whether `[addr, addr+len)` lies inside physical memory.
+    pub fn in_bounds(&self, addr: u64, len: u64) -> bool {
+        addr.checked_add(len)
+            .is_some_and(|end| end <= self.len())
+    }
+
+    /// Reads one byte. Panics if out of bounds (hardware cannot issue an
+    /// out-of-range DRAM access; bounds are checked at the bus).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes one byte directly to the cells (no protection check).
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.bytes[addr as usize] = value;
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[addr as usize..addr as usize + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 directly to the cells.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.bytes[addr as usize..addr as usize + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Borrows `[addr, addr+len)` as a slice.
+    pub fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        &self.bytes[addr as usize..(addr + len) as usize]
+    }
+
+    /// Mutably borrows `[addr, addr+len)`.
+    pub fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        &mut self.bytes[addr as usize..(addr + len) as usize]
+    }
+
+    /// Copies `data` into memory at `addr` (no protection check).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Borrows a whole page.
+    pub fn page(&self, pn: PageNum) -> &[u8] {
+        self.slice(pn.base(), PAGE_SIZE as u64)
+    }
+
+    /// Mutably borrows a whole page.
+    pub fn page_mut(&mut self, pn: PageNum) -> &mut [u8] {
+        self.slice_mut(pn.base(), PAGE_SIZE as u64)
+    }
+
+    /// Flips a single bit — the cell-level corruption primitive used by the
+    /// bit-flip fault models (§3.1 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds or `bit >= 8`.
+    pub fn flip_bit(&mut self, addr: u64, bit: u8) {
+        assert!(bit < 8, "bit index out of range");
+        self.bytes[addr as usize] ^= 1 << bit;
+    }
+
+    /// Fills `[addr, addr+len)` with a byte value.
+    pub fn fill(&mut self, addr: u64, len: u64, value: u8) {
+        self.bytes[addr as usize..(addr + len) as usize].fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(MemConfig::small())
+    }
+
+    #[test]
+    fn new_memory_is_zeroed_and_sized() {
+        let m = mem();
+        assert_eq!(m.len(), MemConfig::small().total_bytes());
+        assert!(!m.is_empty());
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u8(m.len() - 1), 0);
+    }
+
+    #[test]
+    fn u64_round_trips_little_endian() {
+        let mut m = mem();
+        m.write_u64(16, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(16), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u8(16), 0xEF); // little-endian low byte first
+    }
+
+    #[test]
+    fn flip_bit_is_an_involution() {
+        let mut m = mem();
+        m.write_u8(100, 0b1010_1010);
+        m.flip_bit(100, 0);
+        assert_eq!(m.read_u8(100), 0b1010_1011);
+        m.flip_bit(100, 0);
+        assert_eq!(m.read_u8(100), 0b1010_1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index")]
+    fn flip_bit_rejects_bad_bit() {
+        mem().flip_bit(0, 8);
+    }
+
+    #[test]
+    fn clone_snapshots_contents() {
+        let mut m = mem();
+        m.write_u8(5, 42);
+        let snap = m.clone();
+        m.write_u8(5, 99);
+        assert_eq!(snap.read_u8(5), 42);
+        assert_eq!(m.read_u8(5), 99);
+    }
+
+    #[test]
+    fn in_bounds_checks_span_end() {
+        let m = mem();
+        assert!(m.in_bounds(0, m.len()));
+        assert!(!m.in_bounds(0, m.len() + 1));
+        assert!(!m.in_bounds(m.len(), 1));
+        assert!(m.in_bounds(m.len(), 0));
+        assert!(!m.in_bounds(u64::MAX, 1));
+    }
+
+    #[test]
+    fn page_accessors_cover_one_page() {
+        let mut m = mem();
+        let pn = PageNum(2);
+        m.page_mut(pn).fill(7);
+        assert_eq!(m.page(pn).len(), PAGE_SIZE);
+        assert!(m.page(pn).iter().all(|&b| b == 7));
+        // neighbours untouched
+        assert_eq!(m.read_u8(pn.base() - 1), 0);
+        assert_eq!(m.read_u8(pn.end()), 0);
+    }
+}

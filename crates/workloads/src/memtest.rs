@@ -1,0 +1,440 @@
+//! memTest: the §3.2 crash-detection workload.
+//!
+//! A deterministic stream of file/directory creations, deletions, reads,
+//! and writes. Every decision is a pure function of `(seed, op index,
+//! model state)`, and the model evolves deterministically, so the expected
+//! state at any completed-op count can be reconstructed after a crash with
+//! [`MemTest::replay`] — the paper's "run memTest until it reaches the
+//! point when the system crashed".
+//!
+//! The op counter [`MemTest::ops_done`] is the "status file recorded across
+//! the network": it lives on the host, outside the crashing machine.
+
+use crate::datagen;
+use crate::model::ModelFs;
+use rio_kernel::{Kernel, KernelError};
+
+/// memTest parameters.
+#[derive(Debug, Clone)]
+pub struct MemTestConfig {
+    /// PRNG seed: same seed, same op stream.
+    pub seed: u64,
+    /// Root directory for the test set.
+    pub root: String,
+    /// Target ceiling for live file bytes (paper: 100 MB; scaled default
+    /// 2 MB).
+    pub max_set_bytes: u64,
+    /// Maximum bytes per file write.
+    pub max_file_bytes: usize,
+    /// Call `fsync` after every write (the Table 1 disk-based system).
+    pub fsync_every_write: bool,
+    /// Number of fixed subdirectories files spread across.
+    pub num_dirs: usize,
+    /// Number of toggled extra directories (mkdir/rmdir traffic).
+    pub num_toggle_dirs: usize,
+}
+
+impl MemTestConfig {
+    /// Scaled default configuration for the crash campaign.
+    pub fn small(seed: u64) -> Self {
+        MemTestConfig {
+            seed,
+            root: "/memtest".to_owned(),
+            max_set_bytes: 2 * 1024 * 1024,
+            max_file_bytes: 24 * 1024,
+            fsync_every_write: false,
+            num_dirs: 6,
+            num_toggle_dirs: 3,
+        }
+    }
+
+    /// Same, with fsync-per-write (write-through semantics for Table 1's
+    /// disk-based column).
+    pub fn small_write_through(seed: u64) -> Self {
+        MemTestConfig {
+            fsync_every_write: true,
+            ..MemTestConfig::small(seed)
+        }
+    }
+}
+
+/// One decided operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    Create { path: String, len: usize, tag: u64 },
+    Rewrite { path: String, len: usize, tag: u64 },
+    Read { path: String },
+    Delete { path: String },
+    MkToggle { path: String },
+    RmToggle { path: String },
+}
+
+impl Op {
+    fn target(&self) -> &str {
+        match self {
+            Op::Create { path, .. }
+            | Op::Rewrite { path, .. }
+            | Op::Read { path }
+            | Op::Delete { path }
+            | Op::MkToggle { path }
+            | Op::RmToggle { path } => path,
+        }
+    }
+}
+
+/// The running workload.
+#[derive(Debug, Clone)]
+pub struct MemTest {
+    cfg: MemTestConfig,
+    model: ModelFs,
+    total_bytes: u64,
+    ops_done: u64,
+    in_flight: Option<String>,
+}
+
+impl MemTest {
+    /// A fresh memTest (call [`MemTest::setup`] before stepping).
+    pub fn new(cfg: MemTestConfig) -> Self {
+        MemTest {
+            cfg,
+            model: ModelFs::new(),
+            total_bytes: 0,
+            ops_done: 0,
+            in_flight: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemTestConfig {
+        &self.cfg
+    }
+
+    /// Completed operations (the externally recorded progress counter).
+    pub fn ops_done(&self) -> u64 {
+        self.ops_done
+    }
+
+    /// Target of the operation that was executing when a crash interrupted
+    /// [`MemTest::step`], if any.
+    pub fn in_flight(&self) -> Option<&str> {
+        self.in_flight.as_deref()
+    }
+
+    /// The current expected state.
+    pub fn model(&self) -> &ModelFs {
+        &self.model
+    }
+
+    /// Creates the directory skeleton and the static comparison files
+    /// (§3.2's "two copies of all files that are not modified by our
+    /// workload").
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (crash during setup aborts the run).
+    pub fn setup(&mut self, k: &mut Kernel) -> Result<(), KernelError> {
+        k.mkdir(&self.cfg.root)?;
+        self.model.dirs.insert(self.cfg.root.clone());
+        for d in 0..self.cfg.num_dirs {
+            let path = format!("{}/dir{d}", self.cfg.root);
+            k.mkdir(&path)?;
+            self.model.dirs.insert(path);
+        }
+        k.mkdir("/static")?;
+        for i in 0..3 {
+            let data = datagen::bytes(self.cfg.seed, STATIC_TAG + i, 4096);
+            for half in ["a", "b"] {
+                let fd = k.create(&format!("/static/{half}{i}"))?;
+                k.write(fd, &data)?;
+                k.fsync(fd)?;
+                k.close(fd)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the static file pairs for equality (the paper's final
+    /// corruption check). Returns the number of damaged pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn check_static(k: &mut Kernel, seed: u64) -> Result<u64, KernelError> {
+        let mut bad = 0;
+        for i in 0..3u64 {
+            let expected = datagen::bytes(seed, STATIC_TAG + i, 4096);
+            for half in ["a", "b"] {
+                match k.file_contents(&format!("/static/{half}{i}")) {
+                    Ok(data) if data == expected => {}
+                    Ok(_) | Err(KernelError::NotFound) => bad += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(bad)
+    }
+
+    /// Decides op `index` against `model` — shared by live stepping and
+    /// replay, which is what makes reconstruction exact.
+    fn decide(cfg: &MemTestConfig, index: u64, model: &ModelFs, total_bytes: u64) -> Op {
+        let r = datagen::length(cfg.seed, index.wrapping_mul(3), 0, 99) as u64;
+        let files: Vec<&String> = model.files.keys().collect();
+        let over_budget = total_bytes > cfg.max_set_bytes;
+
+        // Toggle-directory traffic: 6% of ops.
+        if (94..100).contains(&r) {
+            let t = datagen::length(cfg.seed, index.wrapping_mul(5) + 1, 0, cfg.num_toggle_dirs - 1);
+            let path = format!("{}/toggle{t}", cfg.root);
+            return if model.dirs.contains(&path) {
+                Op::RmToggle { path }
+            } else {
+                Op::MkToggle { path }
+            };
+        }
+        // Deletes: 15% normally; dominate when over budget.
+        let delete_band = if over_budget { 70 } else { 15 };
+        if r < delete_band && !files.is_empty() {
+            let pick = datagen::length(cfg.seed, index.wrapping_mul(7) + 2, 0, files.len() - 1);
+            return Op::Delete {
+                path: files[pick].clone(),
+            };
+        }
+        // Reads: next 15%.
+        if r < delete_band + 15 && !files.is_empty() {
+            let pick = datagen::length(cfg.seed, index.wrapping_mul(11) + 3, 0, files.len() - 1);
+            return Op::Read {
+                path: files[pick].clone(),
+            };
+        }
+        // Rewrites: next 30% (if anything exists).
+        if r < delete_band + 45 && !files.is_empty() {
+            let pick = datagen::length(cfg.seed, index.wrapping_mul(13) + 4, 0, files.len() - 1);
+            let len = datagen::length(cfg.seed, index.wrapping_mul(17) + 5, 1, cfg.max_file_bytes);
+            return Op::Rewrite {
+                path: files[pick].clone(),
+                len,
+                tag: index + 1_000_000,
+            };
+        }
+        // Creates: the rest.
+        let d = datagen::length(cfg.seed, index.wrapping_mul(19) + 6, 0, cfg.num_dirs - 1);
+        let len = datagen::length(cfg.seed, index.wrapping_mul(23) + 7, 1, cfg.max_file_bytes);
+        Op::Create {
+            path: format!("{}/dir{d}/f{index}", cfg.root),
+            len,
+            tag: index,
+        }
+    }
+
+    fn apply_to_model(cfg: &MemTestConfig, op: &Op, model: &mut ModelFs, total: &mut u64) {
+        match op {
+            Op::Create { path, len, tag } => {
+                let data = datagen::bytes(cfg.seed, *tag, *len);
+                *total += data.len() as u64;
+                model.files.insert(path.clone(), data);
+            }
+            Op::Rewrite { path, len, tag } => {
+                let new = datagen::bytes(cfg.seed, *tag, *len);
+                let entry = model.files.get_mut(path).expect("rewrite target exists");
+                let old_len = entry.len();
+                if new.len() >= old_len {
+                    *total += (new.len() - old_len) as u64;
+                    *entry = new;
+                } else {
+                    entry[..new.len()].copy_from_slice(&new);
+                }
+            }
+            Op::Read { .. } => {}
+            Op::Delete { path } => {
+                let data = model.files.remove(path).expect("delete target exists");
+                *total -= data.len() as u64;
+            }
+            Op::MkToggle { path } => {
+                model.dirs.insert(path.clone());
+            }
+            Op::RmToggle { path } => {
+                model.dirs.remove(path);
+            }
+        }
+    }
+
+    fn apply_to_kernel(
+        &self,
+        k: &mut Kernel,
+        op: &Op,
+    ) -> Result<(), KernelError> {
+        match op {
+            Op::Create { path, len, tag } => {
+                let data = datagen::bytes(self.cfg.seed, *tag, *len);
+                let fd = k.create(path)?;
+                k.write(fd, &data)?;
+                if self.cfg.fsync_every_write {
+                    k.fsync(fd)?;
+                }
+                k.close(fd)?;
+            }
+            Op::Rewrite { path, len, tag } => {
+                let data = datagen::bytes(self.cfg.seed, *tag, *len);
+                let fd = k.open(path)?;
+                k.pwrite(fd, 0, &data)?;
+                if self.cfg.fsync_every_write {
+                    k.fsync(fd)?;
+                }
+                k.close(fd)?;
+            }
+            Op::Read { path } => {
+                let _ = k.file_contents(path)?;
+            }
+            Op::Delete { path } => k.unlink(path)?,
+            Op::MkToggle { path } => k.mkdir(path)?,
+            Op::RmToggle { path } => k.rmdir(path)?,
+        }
+        Ok(())
+    }
+
+    /// Executes one operation against the kernel, updating the model on
+    /// success.
+    ///
+    /// # Errors
+    ///
+    /// A crash ([`KernelError::Panic`] / [`KernelError::Crashed`]) leaves
+    /// [`MemTest::in_flight`] naming the interrupted target, exactly like
+    /// the status file surviving the real machine's crash.
+    pub fn step(&mut self, k: &mut Kernel) -> Result<(), KernelError> {
+        let op = Self::decide(&self.cfg, self.ops_done, &self.model, self.total_bytes);
+        self.in_flight = Some(op.target().to_owned());
+        self.apply_to_kernel(k, &op)?;
+        Self::apply_to_model(&self.cfg, &op, &mut self.model, &mut self.total_bytes);
+        self.ops_done += 1;
+        self.in_flight = None;
+        Ok(())
+    }
+
+    /// Runs up to `n` operations; returns how many completed.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first crash, propagating it.
+    pub fn run(&mut self, k: &mut Kernel, n: u64) -> Result<u64, KernelError> {
+        for i in 0..n {
+            if let Err(e) = self.step(k) {
+                return match e {
+                    KernelError::Panic(_) | KernelError::Crashed => Err(e),
+                    // Any other failure is a workload bug: ops are designed
+                    // never to fail on a healthy system.
+                    other => Err(other),
+                };
+            }
+            let _ = i;
+        }
+        Ok(n)
+    }
+
+    /// Reconstructs the expected state after `ops` completed operations,
+    /// plus the target of the next (possibly interrupted) op.
+    pub fn replay(cfg: &MemTestConfig, ops: u64) -> (ModelFs, String) {
+        let mut model = ModelFs::new();
+        model.dirs.insert(cfg.root.clone());
+        for d in 0..cfg.num_dirs {
+            model.dirs.insert(format!("{}/dir{d}", cfg.root));
+        }
+        let mut total = 0u64;
+        for i in 0..ops {
+            let op = Self::decide(cfg, i, &model, total);
+            Self::apply_to_model(cfg, &op, &mut model, &mut total);
+        }
+        let next = Self::decide(cfg, ops, &model, total);
+        (model, next.target().to_owned())
+    }
+}
+
+/// Tag base for the static comparison files.
+const STATIC_TAG: u64 = 0xABCD_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_core::RioMode;
+    use rio_kernel::{KernelConfig, PanicReason, Policy};
+
+    fn kernel() -> Kernel {
+        Kernel::mkfs_and_mount(&KernelConfig::small(Policy::rio(RioMode::Unprotected))).unwrap()
+    }
+
+    #[test]
+    fn hundred_ops_run_clean_and_verify() {
+        let mut k = kernel();
+        let mut mt = MemTest::new(MemTestConfig::small(42));
+        mt.setup(&mut k).unwrap();
+        assert_eq!(mt.run(&mut k, 100).unwrap(), 100);
+        assert_eq!(mt.ops_done(), 100);
+        let report = mt.model().verify(&mut k, None).unwrap();
+        assert!(!report.is_corrupt(), "live system matches model: {report:?}");
+        assert!(report.files_ok > 0);
+        assert_eq!(MemTest::check_static(&mut k, 42).unwrap(), 0);
+    }
+
+    #[test]
+    fn replay_matches_live_model_at_any_point() {
+        let mut k = kernel();
+        let cfg = MemTestConfig::small(7);
+        let mut mt = MemTest::new(cfg.clone());
+        mt.setup(&mut k).unwrap();
+        mt.run(&mut k, 75).unwrap();
+        let (replayed, _next) = MemTest::replay(&cfg, 75);
+        assert_eq!(replayed.files, mt.model().files);
+        // Live model also tracks toggle dirs.
+        assert_eq!(replayed.dirs, mt.model().dirs);
+    }
+
+    #[test]
+    fn replay_predicts_next_target() {
+        let mut k = kernel();
+        let cfg = MemTestConfig::small(9);
+        let mut mt = MemTest::new(cfg.clone());
+        mt.setup(&mut k).unwrap();
+        mt.run(&mut k, 30).unwrap();
+        let (_, predicted) = MemTest::replay(&cfg, 30);
+        // Execute op 30 for real and compare its in-flight target by
+        // crashing mid-step: crash the kernel first so step fails.
+        k.crash_now(PanicReason::Watchdog);
+        let _ = mt.step(&mut k);
+        assert_eq!(mt.in_flight().unwrap(), predicted);
+        assert_eq!(mt.ops_done(), 30, "failed op not counted");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (m1, _) = MemTest::replay(&MemTestConfig::small(1), 50);
+        let (m2, _) = MemTest::replay(&MemTestConfig::small(2), 50);
+        assert_ne!(m1.files, m2.files);
+    }
+
+    #[test]
+    fn set_size_stays_bounded() {
+        let cfg = MemTestConfig {
+            max_set_bytes: 200_000,
+            ..MemTestConfig::small(3)
+        };
+        let (model, _) = MemTest::replay(&cfg, 2_000);
+        let total: usize = model.files.values().map(|v| v.len()).sum();
+        // Deletes kick in above the budget; allow one max-file of overshoot
+        // headroom.
+        assert!(
+            total < 200_000 + cfg.max_file_bytes * 2,
+            "set grew to {total}"
+        );
+    }
+
+    #[test]
+    fn write_through_variant_fsyncs() {
+        let mut k = Kernel::mkfs_and_mount(&KernelConfig::small(
+            rio_kernel::Policy::disk_write_through(),
+        ))
+        .unwrap();
+        let mut mt = MemTest::new(MemTestConfig::small_write_through(5));
+        mt.setup(&mut k).unwrap();
+        mt.run(&mut k, 20).unwrap();
+        assert!(k.machine.disk.stats().writes > 0);
+    }
+}

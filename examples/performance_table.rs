@@ -1,0 +1,18 @@
+//! Regenerates Table 2 at a configurable scale.
+//!
+//! ```text
+//! cargo run --release --example performance_table [seed]
+//! ```
+
+use rio::harness::table2::Table2Scale;
+use rio::harness::{render_table2, run_table2};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1996);
+    eprintln!("running cp+rm / Sdet / Andrew across the 8 configurations...");
+    let report = run_table2(&Table2Scale::small(seed));
+    println!("{}", render_table2(&report));
+}

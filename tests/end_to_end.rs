@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the whole system working together, from
+//! fault injection through recovery to table generation.
+
+use rio::baselines;
+use rio::core::RioMode;
+use rio::faults::{run_trial, CampaignConfig, FaultType, SystemKind, TrialOutcome};
+use rio::harness::table2::{run_table2, Table2Scale};
+use rio::kernel::{Kernel, KernelConfig, PanicReason, Policy};
+use rio::workloads::{Andrew, AndrewConfig, CpRm, CpRmConfig, MemTest, MemTestConfig, Sdet, SdetConfig};
+
+#[test]
+fn all_eight_policies_run_all_three_workloads() {
+    for policy in baselines::table2_policies() {
+        let mut config = KernelConfig::small(policy.clone());
+        config.geometry = rio::kernel::DiskGeometry::new(4096, 2048, 64);
+        config.machine.disk_blocks = 4096;
+        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+        let cprm = CpRm::new(CpRmConfig {
+            dirs: 2,
+            files_per_dir: 4,
+            ..CpRmConfig::small(1)
+        });
+        cprm.setup(&mut k).unwrap();
+        cprm.run(&mut k).unwrap();
+        Sdet::new(SdetConfig {
+            ops_per_script: 15,
+            ..SdetConfig::small(1)
+        })
+        .run(&mut k)
+        .unwrap();
+        Andrew::new(AndrewConfig {
+            dirs: 1,
+            files_per_dir: 4,
+            ..AndrewConfig::small(1)
+        })
+        .run(&mut k)
+        .unwrap();
+    }
+}
+
+#[test]
+fn rio_survives_every_fault_type_or_crashes_cleanly() {
+    // Every fault type must produce a classifiable outcome on Rio; no
+    // panics of the *simulator* itself.
+    for fault in FaultType::ALL {
+        for seed in 0..2 {
+            let outcome = run_trial(
+                SystemKind::RioWithProtection,
+                fault,
+                seed,
+                20,
+                150,
+            );
+            match outcome {
+                TrialOutcome::NoCrash | TrialOutcome::Wedged | TrialOutcome::Crashed { .. } => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_crash_reboot_cycles_preserve_accumulated_state() {
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let mut expected = Vec::new();
+    for round in 0..4 {
+        // Add data.
+        let path = format!("/round{round}");
+        let data = vec![round as u8 + 1; 5000 + round * 777];
+        let fd = k.create(&path).unwrap();
+        k.write(fd, &data).unwrap();
+        k.close(fd).unwrap();
+        expected.push((path, data));
+        // Crash + warm reboot.
+        k.crash_now(PanicReason::Watchdog);
+        let (image, disk) = k.into_crash_artifacts();
+        let (k2, report) = Kernel::warm_boot(&config, &image, disk).unwrap();
+        assert_eq!(report.warm.unwrap().total_dropped(), 0, "round {round}");
+        k = k2;
+        // Everything ever written is still there.
+        for (p, d) in &expected {
+            assert_eq!(&k.file_contents(p).unwrap(), d, "{p} after round {round}");
+        }
+    }
+}
+
+#[test]
+fn memtest_under_write_through_matches_after_cold_boot() {
+    // The Table 1 disk-based leg end to end, without fault injection:
+    // everything memTest completed must be on disk after a cold boot.
+    let config = KernelConfig::small(Policy::disk_write_through());
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let cfg = MemTestConfig::small_write_through(77);
+    let mut mt = MemTest::new(cfg.clone());
+    mt.setup(&mut k).unwrap();
+    mt.run(&mut k, 60).unwrap();
+    let ops = mt.ops_done();
+    k.crash_now(PanicReason::Watchdog);
+    let (_image, disk) = k.into_crash_artifacts();
+    let (mut k2, _) = Kernel::cold_boot(&config, disk).unwrap();
+    let (expected, next) = MemTest::replay(&cfg, ops);
+    let verdict = expected.verify(&mut k2, Some(next.as_str())).unwrap();
+    assert!(
+        !verdict.is_corrupt(),
+        "write-through lost data without any fault: {verdict:?}"
+    );
+}
+
+#[test]
+fn table2_tiny_preserves_row_ordering() {
+    let report = run_table2(&Table2Scale::tiny(9));
+    let t = |name: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .cprm_total
+    };
+    let memfs = t("Memory File System");
+    let rio = t("Rio with protection");
+    let ufs = t("UFS");
+    let wt = t("UFS write-through on write");
+    // The paper's ordering: MemFS ≈ Rio < UFS ≤ write-through.
+    assert!(rio.as_micros() < ufs.as_micros());
+    assert!(ufs.as_micros() <= wt.as_micros());
+    assert!(rio.as_micros() < memfs.as_micros() * 2);
+}
+
+#[test]
+fn campaign_quick_grid_is_deterministic() {
+    let cfg = CampaignConfig {
+        trials_per_cell: 1,
+        seed: 31,
+        warmup_ops: 15,
+        watchdog_ops: 100,
+        max_attempts_factor: 3,
+    };
+    let a = rio::faults::run_campaign_parallel(&cfg, 4);
+    let b = rio::faults::run_campaign_parallel(&cfg, 2);
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.fault, cb.fault);
+        assert_eq!(ca.system, cb.system);
+        assert_eq!(ca.crashes, cb.crashes);
+        assert_eq!(ca.corruptions, cb.corruptions);
+        assert_eq!(ca.messages, cb.messages);
+    }
+}
+
+#[test]
+fn code_patched_rio_also_survives_crashes() {
+    let config = KernelConfig::small(baselines::rio_code_patched());
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/patched").unwrap();
+    k.write(fd, &vec![0x42; 12_000]).unwrap();
+    k.close(fd).unwrap();
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
+    assert_eq!(k2.file_contents("/patched").unwrap(), vec![0x42; 12_000]);
+}
+
+#[test]
+fn memory_board_transplant_recovers_on_a_different_machine() {
+    // §5: "If the system board fails, it should be possible to move the
+    // memory board to a different system without losing power or data."
+    // Under Rio nothing was ever written to the old disk, so the *entire*
+    // file system must be reconstructible from the transplanted DRAM: we
+    // warm-boot the image against a freshly formatted disk on a new
+    // machine.
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    k.mkdir("/work").unwrap();
+    let mut files = Vec::new();
+    for i in 0..6 {
+        let path = format!("/work/doc{i}");
+        let data = vec![0x30 + i as u8; 4000 + i * 1000];
+        let fd = k.create(&path).unwrap();
+        k.write(fd, &data).unwrap();
+        k.close(fd).unwrap();
+        files.push((path, data));
+    }
+    assert_eq!(k.machine.disk.stats().writes, 0);
+    k.crash_now(PanicReason::Watchdog);
+    let (image, _old_disk) = k.into_crash_artifacts();
+
+    // The replacement machine: same geometry, brand-new disk.
+    let mut fresh_disk = rio::disk::SimDisk::new(
+        config.machine.disk_blocks,
+        config.machine.disk_model,
+    );
+    Kernel::format(&mut fresh_disk, &config.geometry);
+    let (mut k2, report) = Kernel::warm_boot(&config, &image, fresh_disk).unwrap();
+    assert!(report.pages_replayed > 0);
+    for (path, data) in &files {
+        assert_eq!(&k2.file_contents(path).unwrap(), data, "{path}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Paper-scale smoke test: the reproduction is not limited to the scaled
+//! test configuration — [`rio::mem::MemConfig::paper`] builds the paper's
+//! actual machine (128 MB with an 80 MB UBC) and the whole
+//! write → crash → warm-reboot cycle works on it.
+
+use rio::core::RioMode;
+use rio::kernel::{DiskGeometry, Kernel, KernelConfig, PanicReason, Policy};
+use rio::mem::MemConfig;
+
+#[test]
+fn paper_scale_machine_survives_a_crash() {
+    let mut config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    config.machine.mem = MemConfig::paper(); // 80 MB UBC, 128 MB machine
+    config.machine.disk_blocks = 16_384; // 128 MB disk
+    config.geometry = DiskGeometry::new(16_384, 8_192, 256);
+
+    let mut k = Kernel::mkfs_and_mount(&config).expect("paper-scale mkfs");
+    // Write ~12 MB across 100 files — far beyond the test config's whole
+    // UBC, comfortably inside the paper-scale one.
+    let mut files = Vec::new();
+    for i in 0..100u64 {
+        let path = format!("/big{i}");
+        let len = 100_000 + (i as usize * 503) % 60_000;
+        let fill = (i % 251) as u8;
+        let fd = k.create(&path).unwrap();
+        k.write(fd, &vec![fill; len]).unwrap();
+        k.close(fd).unwrap();
+        files.push((path, len, fill));
+    }
+    assert_eq!(
+        k.machine.disk.stats().writes,
+        0,
+        "no reliability writes at paper scale either"
+    );
+
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, report) = Kernel::warm_boot(&config, &image, disk).expect("warm boot");
+    assert!(report.pages_replayed >= 1_400, "≈12 MB of pages replayed");
+    assert_eq!(report.warm.unwrap().total_dropped(), 0);
+
+    // Spot-check a third of the files end to end.
+    for (path, len, fill) in files.iter().step_by(3) {
+        let got = k2.file_contents(path).unwrap();
+        assert_eq!(got.len(), *len, "{path}");
+        assert!(got.iter().all(|b| b == fill), "{path}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests on the core invariants of the reproduction.
+
+use proptest::prelude::*;
+use rio::core::{EntryFlags, RegistryEntry};
+use rio::disk::{DiskModel, SimDisk, SimTime, BLOCK_SIZE};
+use rio::kernel::cache::PageCache;
+use rio::mem::{crc32, PageNum};
+
+proptest! {
+    /// Registry entries survive the 40-byte wire format for any field
+    /// values.
+    #[test]
+    fn registry_entry_round_trips(
+        flags in 0u32..32,
+        phys_page in any::<u32>(),
+        dev in any::<u32>(),
+        ino in any::<u64>(),
+        offset in any::<u64>(),
+        size in any::<u32>(),
+        crc in any::<u32>(),
+    ) {
+        let e = RegistryEntry {
+            flags: EntryFlags(flags),
+            phys_page,
+            dev,
+            ino,
+            offset,
+            size,
+            crc,
+        };
+        let decoded = RegistryEntry::decode(&e.encode()).unwrap().unwrap();
+        prop_assert_eq!(decoded, e);
+    }
+
+    /// CRC32 detects every single-bit flip (guaranteed by the polynomial;
+    /// this is the §3.2 checksum's job).
+    #[test]
+    fn crc32_detects_any_single_bit_flip(
+        mut data in proptest::collection::vec(any::<u8>(), 1..2048),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let before = crc32(&data);
+        let pos = pos_seed % data.len();
+        data[pos] ^= 1 << bit;
+        prop_assert_ne!(crc32(&data), before);
+    }
+
+    /// The disk never loses a write that completed before a crash, for any
+    /// schedule of writes and any crash time.
+    #[test]
+    fn disk_preserves_completed_writes(
+        writes in proptest::collection::vec((0u64..16, any::<u8>()), 1..24),
+        crash_frac in 0.0f64..1.5,
+    ) {
+        let mut disk = SimDisk::new(16, DiskModel::paper_scsi());
+        let mut completions = Vec::new();
+        for &(block, fill) in &writes {
+            let done = disk.submit_write(block, vec![fill; BLOCK_SIZE], SimTime::ZERO, false);
+            completions.push((block, fill, done));
+        }
+        let last = completions.last().expect("non-empty").2;
+        let crash_at = SimTime::from_micros(
+            (last.as_micros() as f64 * crash_frac) as u64,
+        );
+        disk.crash(crash_at);
+        // For each block, the latest write completed strictly before the
+        // crash must be visible unless a later (possibly torn/lost) write
+        // to the same block overwrote it.
+        for (i, &(block, fill, done)) in completions.iter().enumerate() {
+            let later_write_same_block = completions[i + 1..]
+                .iter()
+                .any(|&(b, _, _)| b == block);
+            if done <= crash_at && !later_write_same_block {
+                prop_assert!(!disk.is_torn(block));
+                prop_assert!(disk.peek(block).iter().all(|&b| b == fill));
+            }
+        }
+    }
+
+    /// The page-cache dirty counter always equals the number of dirty keys,
+    /// across arbitrary operation sequences.
+    #[test]
+    fn page_cache_dirty_count_is_exact(
+        ops in proptest::collection::vec((0u8..5, 0u64..12), 1..200),
+    ) {
+        let mut cache: PageCache<u64> = PageCache::new((0..4).map(PageNum).collect());
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    if cache.lookup(key).is_none() {
+                        cache.insert(key);
+                    }
+                }
+                1 => {
+                    if cache.lookup(key).is_some() {
+                        cache.mark_dirty(key);
+                    }
+                }
+                2 => cache.mark_clean(key),
+                3 => {
+                    cache.remove(key);
+                }
+                _ => {
+                    cache.lookup(key);
+                }
+            }
+            prop_assert_eq!(cache.dirty_count(), cache.dirty_keys().len());
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    /// kmalloc never hands out overlapping blocks and kfree returns them,
+    /// for arbitrary alloc/free interleavings.
+    #[test]
+    fn allocator_blocks_never_overlap(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..512), 1..100),
+    ) {
+        use rio::kernel::alloc::{heap_map, KernelAlloc, HDR_BYTES};
+        let mut mem = rio::mem::PhysMem::new(rio::mem::MemConfig::small());
+        let heap = mem.layout().heap;
+        let mut alloc = KernelAlloc::new(heap.start + heap_map::ARENA_OFFSET, heap.end);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (do_alloc, size) in ops {
+            if do_alloc || live.is_empty() {
+                let addr = alloc.kmalloc(&mut mem, size).unwrap();
+                // No overlap with any live block (headers included).
+                for &(a, s) in &live {
+                    let lo = a - HDR_BYTES;
+                    let hi = a + s;
+                    let nlo = addr - HDR_BYTES;
+                    let nhi = addr + size;
+                    prop_assert!(nhi <= lo || nlo >= hi,
+                        "overlap: new [{nlo},{nhi}) vs live [{lo},{hi})");
+                }
+                live.push((addr, size));
+            } else {
+                let (addr, _) = live.swap_remove(0);
+                alloc.kfree(&mut mem, addr).unwrap();
+            }
+        }
+    }
+
+    /// memTest replay reconstructs exactly the state the live run produced,
+    /// for arbitrary seeds and op counts.
+    #[test]
+    fn memtest_replay_is_exact(seed in 0u64..500, ops in 1u64..60) {
+        use rio::core::RioMode;
+        use rio::kernel::{Kernel, KernelConfig, Policy};
+        use rio::workloads::{MemTest, MemTestConfig};
+        let config = KernelConfig::small(Policy::rio(RioMode::Unprotected));
+        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+        let cfg = MemTestConfig::small(seed);
+        let mut mt = MemTest::new(cfg.clone());
+        mt.setup(&mut k).unwrap();
+        mt.run(&mut k, ops).unwrap();
+        let (replayed, _) = MemTest::replay(&cfg, ops);
+        prop_assert_eq!(&replayed.files, &mt.model().files);
+        prop_assert_eq!(&replayed.dirs, &mt.model().dirs);
+        // And the kernel state matches the model.
+        let verdict = mt.model().verify(&mut k, None).unwrap();
+        prop_assert!(!verdict.is_corrupt());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Warm reboot recovers every file for arbitrary file shapes, with no
+    /// disk writes before the crash.
+    #[test]
+    fn warm_reboot_recovers_arbitrary_files(
+        files in proptest::collection::vec(
+            (1usize..40_000, any::<u8>()),
+            1..6,
+        ),
+    ) {
+        use rio::core::RioMode;
+        use rio::kernel::{Kernel, KernelConfig, PanicReason, Policy};
+        let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+        for (i, &(len, fill)) in files.iter().enumerate() {
+            let fd = k.create(&format!("/f{i}")).unwrap();
+            k.write(fd, &vec![fill; len]).unwrap();
+            k.close(fd).unwrap();
+        }
+        prop_assert_eq!(k.machine.disk.stats().writes, 0);
+        k.crash_now(PanicReason::Watchdog);
+        let (image, disk) = k.into_crash_artifacts();
+        let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
+        for (i, &(len, fill)) in files.iter().enumerate() {
+            let got = k2.file_contents(&format!("/f{i}")).unwrap();
+            prop_assert_eq!(got, vec![fill; len]);
+        }
+    }
+}
