@@ -16,7 +16,8 @@ fn main() {
         std::thread::available_parallelism()
             .map(|n| n.get() as u64)
             .unwrap_or(4),
-    ) as usize;
+    )
+    .max(1) as usize;
 
     let cfg = CampaignConfig {
         trials_per_cell: trials,

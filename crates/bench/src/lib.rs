@@ -8,15 +8,14 @@
 //! * `table2` — regenerates Table 2 (performance) plus the headline
 //!   ratios. `RIO_SEED` selects workload seeds.
 //! * `overhead` — the protection / code-patching overhead study.
-//!
-//! Criterion benches (`cargo bench -p rio-bench`):
-//!
-//! * `performance` — per-configuration workload timing (host time; the
-//!   simulated Table 2 numbers come from the binaries).
-//! * `reliability` — cost of a single crash-inject-reboot-verify trial.
-//! * `protection_overhead` — the write loop under the three Rio modes.
-//! * `micro` — interpreted `bcopy`, CRC32, registry update, warm-reboot
-//!   scan.
+//! * `bench` — the self-contained micro/meso benchmark runner ([`runner`]):
+//!   interpreted `bcopy`, CRC32, registry update, warm-reboot scan, the
+//!   per-policy workload costs, the protection-mode write loop, and one
+//!   full crash trial per system. Reports median/p95 over warmup + N
+//!   timed iterations. Knobs: `RIO_BENCH_ITERS`, `RIO_BENCH_WARMUP`,
+//!   `RIO_BENCH_FILTER`.
+
+pub mod runner;
 
 /// Reads a `u64` configuration value from the environment.
 pub fn env_u64(name: &str, default: u64) -> u64 {

@@ -1,0 +1,234 @@
+//! The self-contained benchmark runner: Criterion's replacement.
+//!
+//! Each benchmark is a closure timed over `warmup` discarded iterations
+//! followed by `iters` measured ones; the report shows min / median / p95
+//! / mean per iteration, plus throughput when a byte count is attached.
+//! No statistics engine, no external crates — medians over a fixed
+//! iteration count are reproducible enough to catch regressions, and the
+//! simulated-time numbers the paper cares about come from the table
+//! binaries, not from host timing.
+
+use std::time::Instant;
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (group/name style, filterable).
+    pub name: String,
+    /// Measured iterations.
+    pub iters: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile iteration, nanoseconds.
+    pub p95_ns: u64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: u64,
+    /// Bytes processed per iteration, if declared (enables MB/s).
+    pub bytes_per_iter: Option<u64>,
+}
+
+/// Picks `frac` of the way through a sorted sample (nearest-rank on the
+/// inclusive index range, matching the campaign summary's convention).
+pub fn percentile(sorted_ns: &[u64], frac: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * frac).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+/// Formats nanoseconds human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark registry and executor.
+pub struct Runner {
+    warmup: u32,
+    iters: u32,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+    skipped: u32,
+}
+
+impl Runner {
+    /// A runner with explicit iteration counts.
+    pub fn new(warmup: u32, iters: u32) -> Runner {
+        Runner {
+            warmup,
+            iters: iters.max(1),
+            filter: None,
+            results: Vec::new(),
+            skipped: 0,
+        }
+    }
+
+    /// Reads `RIO_BENCH_WARMUP` (default 3), `RIO_BENCH_ITERS` (default
+    /// 20), and `RIO_BENCH_FILTER` (substring match on names).
+    pub fn from_env() -> Runner {
+        let warmup = crate::env_u64("RIO_BENCH_WARMUP", 3) as u32;
+        let iters = crate::env_u64("RIO_BENCH_ITERS", 20) as u32;
+        let mut r = Runner::new(warmup, iters);
+        r.filter = std::env::var("RIO_BENCH_FILTER").ok().filter(|f| !f.is_empty());
+        r
+    }
+
+    /// Results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Times `f`, discarding warmup iterations. Use
+    /// [`std::hint::black_box`] inside `f` to defeat dead-code removal.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.bench_inner(name, None, f);
+    }
+
+    /// Like [`Runner::bench`], declaring bytes processed per iteration so
+    /// the report can show MB/s.
+    pub fn bench_bytes(&mut self, name: &str, bytes_per_iter: u64, f: impl FnMut()) {
+        self.bench_inner(name, Some(bytes_per_iter), f);
+    }
+
+    fn bench_inner(&mut self, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut samples_ns: Vec<u64> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            f();
+            samples_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        samples_ns.sort_unstable();
+        let mean = samples_ns.iter().sum::<u64>() / samples_ns.len() as u64;
+        let result = BenchResult {
+            name: name.to_owned(),
+            iters: self.iters,
+            min_ns: samples_ns[0],
+            median_ns: percentile(&samples_ns, 0.5),
+            p95_ns: percentile(&samples_ns, 0.95),
+            mean_ns: mean,
+            bytes_per_iter,
+        };
+        eprintln!(
+            "  {:<44} median {:>10}  p95 {:>10}",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns)
+        );
+        self.results.push(result);
+    }
+
+    /// Renders the final report table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "benchmark", "iters", "min", "median", "p95", "mean", "throughput"
+        ));
+        out.push_str(&"-".repeat(116));
+        out.push('\n');
+        for r in &self.results {
+            let throughput = match r.bytes_per_iter {
+                Some(bytes) if r.median_ns > 0 => {
+                    let mb_s = bytes as f64 / (r.median_ns as f64 / 1e9) / 1e6;
+                    format!("{mb_s:.1} MB/s")
+                }
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "{:<44} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                r.name,
+                r.iters,
+                fmt_ns(r.min_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.mean_ns),
+                throughput
+            ));
+        }
+        if self.skipped > 0 {
+            out.push_str(&format!("({} benchmarks filtered out)\n", self.skipped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 0.0), 1);
+        assert_eq!(percentile(&s, 0.5), 6); // round(4.5) = 5th index
+        assert_eq!(percentile(&s, 1.0), 10);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.95), 7);
+    }
+
+    #[test]
+    fn runner_measures_and_orders_stats() {
+        let mut r = Runner::new(1, 16);
+        let mut x = 0u64;
+        r.bench("spin", || {
+            for i in 0..1000 {
+                x = x.wrapping_add(std::hint::black_box(i));
+            }
+        });
+        assert_eq!(r.results().len(), 1);
+        let b = &r.results()[0];
+        assert!(b.min_ns <= b.median_ns);
+        assert!(b.median_ns <= b.p95_ns);
+        assert_eq!(b.iters, 16);
+        let report = r.render();
+        assert!(report.contains("spin"));
+        assert!(report.contains("median"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner::new(0, 2);
+        r.filter = Some("crc".to_owned());
+        r.bench("interpreter/bcopy", || {});
+        r.bench("checksum/crc32_8k", || {});
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].name, "checksum/crc32_8k");
+        assert!(r.render().contains("filtered out"));
+    }
+
+    #[test]
+    fn throughput_appears_for_byte_benches() {
+        let mut r = Runner::new(0, 4);
+        r.bench_bytes("bytes/8k", 8192, || {
+            std::hint::black_box(vec![0u8; 8192]);
+        });
+        assert!(r.render().contains("MB/s"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

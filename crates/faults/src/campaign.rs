@@ -6,14 +6,23 @@
 //! discards about half), reboot the surviving artifacts (cold boot +
 //! fsck for the disk-based system, warm reboot for Rio), replay memTest to
 //! the crash point, and compare.
+//!
+//! The paper's full campaign is 13 × 3 × 50 = 1,950 independent crash
+//! runs. Every trial's seed is a pure function of its grid coordinates
+//! ([`trial_seed`]), and each trial owns its whole simulated machine, so
+//! the campaign is embarrassingly parallel: [`run_campaign_parallel`]
+//! distributes *individual trials* over a worker pool and merges outcomes
+//! in attempt order, producing output byte-identical to the serial
+//! [`run_campaign`] at any thread count.
 
 use crate::inject::{inject, FaultType};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rio_core::RioMode;
+use rio_det::{derive_seed3, DetRng};
 use rio_kernel::{Kernel, KernelConfig, KernelError, Policy};
 use rio_workloads::{MemTest, MemTestConfig};
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex};
 
 /// The three systems of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +124,42 @@ pub struct CellResult {
     pub messages: BTreeSet<String>,
 }
 
+impl CellResult {
+    fn empty(fault: FaultType, system: SystemKind) -> CellResult {
+        CellResult {
+            fault,
+            system,
+            crashes: 0,
+            corruptions: 0,
+            discarded: 0,
+            protection_traps: 0,
+            messages: BTreeSet::new(),
+        }
+    }
+
+    /// Folds one trial outcome into the cell counters.
+    fn absorb(&mut self, outcome: TrialOutcome) {
+        match outcome {
+            TrialOutcome::NoCrash | TrialOutcome::Wedged => self.discarded += 1,
+            TrialOutcome::Crashed {
+                corrupted,
+                protection_trap,
+                message,
+                ..
+            } => {
+                self.crashes += 1;
+                if corrupted {
+                    self.corruptions += 1;
+                }
+                if protection_trap {
+                    self.protection_traps += 1;
+                }
+                self.messages.insert(message);
+            }
+        }
+    }
+}
+
 /// The full campaign result.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -200,9 +245,27 @@ impl CampaignConfig {
             max_attempts_factor: 8,
         }
     }
+
+    fn max_attempts(&self) -> u64 {
+        self.trials_per_cell * self.max_attempts_factor
+    }
+}
+
+/// The seed of one trial: a pure function of the campaign seed and the
+/// trial's grid coordinates.
+///
+/// Because seeds are *derived* (stream-split) rather than drawn from a
+/// sequentially reseeded generator, dropping, reordering, or parallelizing
+/// trials never shifts any other trial's fault sites.
+pub fn trial_seed(campaign_seed: u64, fault: FaultType, system: SystemKind, attempt: u64) -> u64 {
+    derive_seed3(campaign_seed, fault as u64, system as u64, attempt)
 }
 
 /// Runs one trial: boot, warm up, inject, run to crash, reboot, verify.
+///
+/// The trial owns its entire simulated machine (CPU, physical memory,
+/// disk); nothing is shared with other trials, which is what makes the
+/// campaign safely parallel.
 pub fn run_trial(
     system: SystemKind,
     fault: FaultType,
@@ -210,7 +273,7 @@ pub fn run_trial(
     warmup_ops: u64,
     watchdog_ops: u64,
 ) -> TrialOutcome {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let policy = system.policy();
     let config = KernelConfig::small(policy);
     let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
@@ -311,21 +374,28 @@ pub fn run_trial(
     }
 }
 
-/// Runs the full campaign grid.
+/// The Table 1 grid, in row-major (fault, system) order.
+fn grid() -> Vec<(FaultType, SystemKind)> {
+    FaultType::ALL
+        .iter()
+        .flat_map(|&f| SystemKind::ALL.iter().map(move |&s| (f, s)))
+        .collect()
+}
+
+/// Runs the full campaign grid serially.
 ///
-/// `progress` is called after each cell with `(fault, system, cell)` —
-/// the harness uses it for live reporting.
+/// `progress` is called after each cell with the finished cell — the
+/// harness uses it for live reporting. [`run_campaign_parallel`] produces
+/// identical results faster.
 pub fn run_campaign(
     cfg: &CampaignConfig,
     mut progress: impl FnMut(&CellResult),
 ) -> CampaignResult {
     let mut cells = Vec::new();
-    for &fault in &FaultType::ALL {
-        for &system in &SystemKind::ALL {
-            let cell = run_cell(cfg, fault, system);
-            progress(&cell);
-            cells.push(cell);
-        }
+    for (fault, system) in grid() {
+        let cell = run_cell(cfg, fault, system);
+        progress(&cell);
+        cells.push(cell);
     }
     CampaignResult {
         cells,
@@ -333,82 +403,191 @@ pub fn run_campaign(
     }
 }
 
-/// Runs one (fault, system) cell to completion.
+/// Runs one (fault, system) cell to completion, serially.
 fn run_cell(cfg: &CampaignConfig, fault: FaultType, system: SystemKind) -> CellResult {
-    let mut cell = CellResult {
-        fault,
-        system,
-        crashes: 0,
-        corruptions: 0,
-        discarded: 0,
-        protection_traps: 0,
-        messages: BTreeSet::new(),
-    };
+    let mut cell = CellResult::empty(fault, system);
     let mut attempt = 0u64;
-    let max_attempts = cfg.trials_per_cell * cfg.max_attempts_factor;
-    while cell.crashes < cfg.trials_per_cell && attempt < max_attempts {
-        let seed = cfg
-            .seed
-            .wrapping_mul(1_000_003)
-            .wrapping_add((fault as u64) << 24)
-            .wrapping_add((system as u64) << 16)
-            .wrapping_add(attempt);
+    while cell.crashes < cfg.trials_per_cell && attempt < cfg.max_attempts() {
+        let seed = trial_seed(cfg.seed, fault, system, attempt);
         attempt += 1;
-        match run_trial(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops) {
-            TrialOutcome::NoCrash | TrialOutcome::Wedged => cell.discarded += 1,
-            TrialOutcome::Crashed {
-                corrupted,
-                protection_trap,
-                message,
-                ..
-            } => {
-                cell.crashes += 1;
-                if corrupted {
-                    cell.corruptions += 1;
-                }
-                if protection_trap {
-                    cell.protection_traps += 1;
-                }
-                cell.messages.insert(message);
-            }
-        }
+        cell.absorb(run_trial(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops));
     }
     cell
 }
 
-/// Parallel campaign: distributes the 39 cells across `threads` workers.
-/// Results are identical to [`run_campaign`] (every trial's seed is a pure
-/// function of its coordinates).
+/// Per-cell bookkeeping inside the parallel scheduler.
+struct CellState {
+    fault: FaultType,
+    system: SystemKind,
+    cell: CellResult,
+    /// Next attempt index to hand to a worker.
+    issued: u64,
+    /// Next attempt index to merge (all attempts below are folded in).
+    merged: u64,
+    /// Finished attempts waiting for their turn in the merge order.
+    parked: BTreeMap<u64, TrialOutcome>,
+    /// The cell reached its quota (or attempt cap): no more merging.
+    done: bool,
+}
+
+impl CellState {
+    /// Folds parked outcomes in attempt order, applying exactly the serial
+    /// stopping rule: an attempt counts iff, with all earlier attempts
+    /// merged, the quota was not yet met and the cap not yet reached.
+    fn drain_merges(&mut self, cfg: &CampaignConfig) {
+        while !self.done {
+            let Some(outcome) = self.parked.remove(&self.merged) else {
+                break;
+            };
+            self.merged += 1;
+            self.cell.absorb(outcome);
+            if self.cell.crashes >= cfg.trials_per_cell || self.merged >= cfg.max_attempts() {
+                self.done = true;
+                // Speculative results beyond the stopping point are
+                // discarded — the serial run never executed them.
+                self.parked.clear();
+            }
+        }
+    }
+}
+
+/// Shared scheduler state: the grid of cells plus a cursor that spreads
+/// speculative issuance round-robin across unfinished cells.
+struct Scheduler {
+    cells: Vec<CellState>,
+    cursor: usize,
+    unfinished: usize,
+    /// Per-cell bound on `issued - merged`: how far ahead of the merge
+    /// frontier workers may speculate. Trials past a cell's (unknown)
+    /// stopping point are wasted work, so the window trades idle threads
+    /// against waste.
+    window: u64,
+}
+
+impl Scheduler {
+    fn new(threads: usize) -> Scheduler {
+        let cells: Vec<CellState> = grid()
+            .into_iter()
+            .map(|(fault, system)| CellState {
+                fault,
+                system,
+                cell: CellResult::empty(fault, system),
+                issued: 0,
+                merged: 0,
+                parked: BTreeMap::new(),
+                done: false,
+            })
+            .collect();
+        let unfinished = cells.len();
+        Scheduler {
+            cells,
+            cursor: 0,
+            unfinished,
+            window: (threads as u64).max(2) * 2,
+        }
+    }
+
+    /// Hands out the next trial, if any cell can accept speculation.
+    fn next_task(&mut self, cfg: &CampaignConfig) -> Option<(usize, u64)> {
+        let n = self.cells.len();
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            let c = &mut self.cells[i];
+            if c.done || c.issued >= cfg.max_attempts() || c.issued - c.merged >= self.window {
+                continue;
+            }
+            let attempt = c.issued;
+            c.issued += 1;
+            self.cursor = (i + 1) % n;
+            return Some((i, attempt));
+        }
+        None
+    }
+
+    /// Records a finished trial and advances the merge frontier.
+    fn complete(&mut self, idx: usize, attempt: u64, outcome: TrialOutcome, cfg: &CampaignConfig) {
+        let c = &mut self.cells[idx];
+        if c.done {
+            return; // speculative leftover of an already-finished cell
+        }
+        c.parked.insert(attempt, outcome);
+        let was_done = c.done;
+        c.drain_merges(cfg);
+        // A cell with the attempt cap exhausted and nothing in flight is
+        // also finished even if the quota was never met.
+        if !c.done && c.merged >= cfg.max_attempts() {
+            c.done = true;
+        }
+        if c.done && !was_done {
+            self.unfinished -= 1;
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    fn into_result(self, cfg: &CampaignConfig) -> CampaignResult {
+        CampaignResult {
+            cells: self.cells.into_iter().map(|c| c.cell).collect(),
+            trials_per_cell: cfg.trials_per_cell,
+        }
+    }
+}
+
+/// Runs the campaign with individual *trials* distributed over `threads`
+/// workers (`std::thread::scope`; no shared machine state — every trial
+/// builds its own kernel, memory, and disk).
+///
+/// Results are byte-identical to [`run_campaign`] for any `threads`:
+/// every trial's seed is a pure function of its coordinates
+/// ([`trial_seed`]), and outcomes are merged in attempt order under the
+/// serial stopping rule, so execution order cannot leak into the report.
 pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignResult {
-    let grid: Vec<(FaultType, SystemKind)> = FaultType::ALL
-        .iter()
-        .flat_map(|&f| SystemKind::ALL.iter().map(move |&s| (f, s)))
-        .collect();
     let threads = threads.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut cells: Vec<Option<CellResult>> = vec![None; grid.len()];
-    let slots: Vec<std::sync::Mutex<Option<CellResult>>> =
-        (0..grid.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    if threads == 1 {
+        return run_campaign(cfg, |_| {});
+    }
+    let state = Mutex::new(Scheduler::new(threads));
+    let wake = Condvar::new();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= grid.len() {
+                let task = {
+                    let mut s = state.lock().expect("no poison");
+                    loop {
+                        if s.all_done() {
+                            break None;
+                        }
+                        match s.next_task(cfg) {
+                            Some(t) => break Some(t),
+                            // Every issueable trial is in flight; sleep
+                            // until a completion moves a merge frontier.
+                            None => s = wake.wait(s).expect("no poison"),
+                        }
+                    }
+                };
+                let Some((idx, attempt)) = task else {
+                    wake.notify_all();
                     break;
-                }
-                let (fault, system) = grid[i];
-                let cell = run_cell(cfg, fault, system);
-                *slots[i].lock().expect("no poison") = Some(cell);
+                };
+                let (fault, system) = {
+                    let s = state.lock().expect("no poison");
+                    (s.cells[idx].fault, s.cells[idx].system)
+                };
+                let seed = trial_seed(cfg.seed, fault, system, attempt);
+                let outcome = run_trial(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops);
+                let mut s = state.lock().expect("no poison");
+                s.complete(idx, attempt, outcome, cfg);
+                drop(s);
+                wake.notify_all();
             });
         }
     });
-    for (i, slot) in slots.into_iter().enumerate() {
-        cells[i] = slot.into_inner().expect("no poison");
-    }
-    CampaignResult {
-        cells: cells.into_iter().map(|c| c.expect("cell computed")).collect(),
-        trials_per_cell: cfg.trials_per_cell,
-    }
+    state
+        .into_inner()
+        .expect("no poison")
+        .into_result(cfg)
 }
 
 #[cfg(test)]
@@ -483,6 +662,29 @@ mod tests {
     }
 
     #[test]
+    fn trial_seeds_are_independent_of_other_trials() {
+        // Dropping or reordering trials must not shift later trials'
+        // seeds: each seed depends only on its own coordinates.
+        let s = trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 17);
+        assert_eq!(
+            s,
+            trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 17)
+        );
+        assert_ne!(
+            s,
+            trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 18)
+        );
+        assert_ne!(
+            s,
+            trial_seed(1996, FaultType::Pointer, SystemKind::RioWithProtection, 17)
+        );
+        assert_ne!(
+            s,
+            trial_seed(1996, FaultType::Allocation, SystemKind::DiskBased, 17)
+        );
+    }
+
+    #[test]
     fn mini_campaign_produces_full_grid() {
         let cfg = CampaignConfig {
             trials_per_cell: 1,
@@ -502,5 +704,28 @@ mod tests {
             .sum();
         assert!(total > 0);
         assert!(!result.unique_messages().is_empty());
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_exactly() {
+        let cfg = CampaignConfig {
+            trials_per_cell: 2,
+            seed: 7,
+            warmup_ops: 15,
+            watchdog_ops: 120,
+            max_attempts_factor: 3,
+        };
+        let serial = run_campaign(&cfg, |_| {});
+        let parallel = run_campaign_parallel(&cfg, 4);
+        assert_eq!(serial.trials_per_cell, parallel.trials_per_cell);
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.crashes, b.crashes, "{} / {}", a.fault, a.system);
+            assert_eq!(a.corruptions, b.corruptions, "{} / {}", a.fault, a.system);
+            assert_eq!(a.discarded, b.discarded, "{} / {}", a.fault, a.system);
+            assert_eq!(a.protection_traps, b.protection_traps);
+            assert_eq!(a.messages, b.messages);
+        }
     }
 }

@@ -1,7 +1,6 @@
 //! The thirteen fault models.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rio_det::DetRng;
 use rio_cpu::{Instr, Opcode, Reg, INSTR_BYTES};
 use rio_kernel::{Cadence, Kernel, OffByOne, OverrunSpec};
 
@@ -87,7 +86,7 @@ pub const FAULTS_PER_RUN: usize = 20;
 
 /// Draws one overrun length from the §3.1 distribution: 50% one byte,
 /// 44% 2–1024 bytes, 6% 2–4 KB.
-pub fn overrun_length(rng: &mut SmallRng) -> u64 {
+pub fn overrun_length(rng: &mut DetRng) -> u64 {
     let p: u32 = rng.gen_range(0..100);
     if p < 50 {
         1
@@ -98,15 +97,15 @@ pub fn overrun_length(rng: &mut SmallRng) -> u64 {
     }
 }
 
-fn random_instr_index(k: &Kernel, rng: &mut SmallRng) -> u64 {
+fn random_instr_index(k: &Kernel, rng: &mut DetRng) -> u64 {
     rng.gen_range(0..k.machine.store.installed_instrs())
 }
 
 fn patch_decoded(
     k: &mut Kernel,
     idx: u64,
-    f: impl FnOnce(&mut Instr, &mut SmallRng),
-    rng: &mut SmallRng,
+    f: impl FnOnce(&mut Instr, &mut DetRng),
+    rng: &mut DetRng,
 ) {
     let store = k.machine.store.clone();
     if let Ok(mut instr) = store.read_instr(k.machine.bus.mem(), idx) {
@@ -120,7 +119,7 @@ fn patch_decoded(
 /// Bit-level and instruction-level faults mutate simulated memory / kernel
 /// text immediately; behavioural faults arm the kernel's
 /// [`rio_kernel::FaultHooks`] with the paper's trigger cadences.
-pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut SmallRng) {
+pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
     match fault {
         FaultType::KernelText => {
             // Flip bits within installed routine bytes — the live-code
@@ -275,7 +274,6 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut SmallRng) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rio_core::RioMode;
     use rio_kernel::{KernelConfig, Policy};
 
@@ -293,7 +291,7 @@ mod tests {
 
     #[test]
     fn overrun_distribution_matches_paper_bands() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let mut one = 0;
         let mut small = 0;
         let mut large = 0;
@@ -316,7 +314,7 @@ mod tests {
         let base = k.machine.store.text_base();
         let len = k.machine.store.installed_instrs() * INSTR_BYTES;
         let before = k.machine.bus.mem().slice(base, len).to_vec();
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         inject(&mut k, FaultType::KernelText, &mut rng);
         let after = k.machine.bus.mem().slice(base, len).to_vec();
         assert_ne!(before, after);
@@ -324,7 +322,7 @@ mod tests {
 
     #[test]
     fn behavioural_faults_arm_hooks() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let mut k = kernel();
         inject(&mut k, FaultType::CopyOverrun, &mut rng);
         assert!(k.machine.hooks.copy_overrun.is_some());
@@ -351,7 +349,7 @@ mod tests {
                 .count()
         };
         let before = count_branches(&k);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         inject(&mut k, FaultType::DeleteBranch, &mut rng);
         assert!(count_branches(&k) < before);
     }
@@ -360,7 +358,7 @@ mod tests {
     fn injection_is_deterministic_per_seed() {
         let snapshot = |seed: u64| {
             let mut k = kernel();
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             inject(&mut k, FaultType::SourceReg, &mut rng);
             let base = k.machine.store.text_base();
             let len = k.machine.store.installed_instrs() * INSTR_BYTES;

@@ -11,8 +11,7 @@
 
 use crate::campaign::SystemKind;
 use crate::inject::{inject, FaultType};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rio_det::DetRng;
 use rio_kernel::{Kernel, KernelConfig, KernelError};
 use rio_workloads::MemTest;
 
@@ -92,7 +91,7 @@ pub fn run_traced_trial(
         detection: DetectionChannel::None,
         message: None,
     };
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let policy = system.policy();
     let config = KernelConfig::small(policy);
     let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
@@ -244,13 +243,13 @@ mod tests {
     #[test]
     fn traced_trials_record_latency() {
         let mut traces = Vec::new();
-        for seed in 0..6 {
+        for seed in 0..12 {
             traces.push(run_traced_trial(
                 SystemKind::RioWithProtection,
                 FaultType::DeleteRandomInst,
                 seed,
                 20,
-                200,
+                300,
             ));
         }
         let crashed: Vec<_> = traces.iter().filter(|t| t.crashed).collect();

@@ -9,9 +9,8 @@
 //! cargo run --example crash_survival [seed]
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rio::core::RioMode;
+use rio::det::DetRng;
 use rio::faults::{inject, FaultType};
 use rio::kernel::{Kernel, KernelConfig, KernelError, Policy};
 use rio::workloads::{MemTest, MemTestConfig};
@@ -34,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Inject the copy-overrun fault (§3.1: bcopy occasionally copies
     // 1 byte / 2-1024 bytes / 2-4 KB too much).
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     inject(&mut kernel, FaultType::CopyOverrun, &mut rng);
     println!("fault injected: {}", FaultType::CopyOverrun);
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, test, and a smoke-scale Table 1 campaign.
+# Everything runs offline — the workspace has no crates.io dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== smoke campaign (RIO_TRIALS=3) =="
+RIO_TRIALS=3 cargo run -q --release -p rio-bench --bin table1
+
+echo "verify: OK"

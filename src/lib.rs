@@ -16,6 +16,7 @@
 //! |---|---|---|
 //! | [`mem`] | `rio-mem` | simulated physical memory, TLB/KSEG protection |
 //! | [`cpu`] | `rio-cpu` | kernel ISA, assembler, interpreter |
+//! | [`det`] | `rio-det` | deterministic PRNG, seed derivation, property-test harness |
 //! | [`disk`] | `rio-disk` | simulated disk with timing + torn writes |
 //! | [`kernel`] | `rio-kernel` | simulated Unix kernel (UFS-like FS, buffer cache, UBC) |
 //! | [`core`] | `rio-core` | **the paper's contribution**: registry, protection, warm reboot |
@@ -33,6 +34,7 @@
 pub use rio_baselines as baselines;
 pub use rio_core as core;
 pub use rio_cpu as cpu;
+pub use rio_det as det;
 pub use rio_disk as disk;
 pub use rio_faults as faults;
 pub use rio_harness as harness;

@@ -1,58 +1,56 @@
-//! Property-based tests on the core invariants of the reproduction.
+//! Property-based tests on the core invariants of the reproduction,
+//! running on the in-repo `rio_det::proptest_lite` harness: seeded cases,
+//! failure-seed reporting, bounded shrink — no external crates.
 
-use proptest::prelude::*;
 use rio::core::{EntryFlags, RegistryEntry};
+use rio::det::proptest_lite::{check, Config, Gen};
+use rio::det::{pt_assert, pt_assert_eq, pt_assert_ne};
 use rio::disk::{DiskModel, SimDisk, SimTime, BLOCK_SIZE};
 use rio::kernel::cache::PageCache;
 use rio::mem::{crc32, PageNum};
 
-proptest! {
-    /// Registry entries survive the 40-byte wire format for any field
-    /// values.
-    #[test]
-    fn registry_entry_round_trips(
-        flags in 0u32..32,
-        phys_page in any::<u32>(),
-        dev in any::<u32>(),
-        ino in any::<u64>(),
-        offset in any::<u64>(),
-        size in any::<u32>(),
-        crc in any::<u32>(),
-    ) {
+/// Registry entries survive the 40-byte wire format for any field values.
+#[test]
+fn registry_entry_round_trips() {
+    check("registry_entry_round_trips", Config::default(), |g: &mut Gen| {
         let e = RegistryEntry {
-            flags: EntryFlags(flags),
-            phys_page,
-            dev,
-            ino,
-            offset,
-            size,
-            crc,
+            flags: EntryFlags(g.in_range(0u32..32)),
+            phys_page: g.u32(),
+            dev: g.u32(),
+            ino: g.u64(),
+            offset: g.u64(),
+            size: g.u32(),
+            crc: g.u32(),
         };
         let decoded = RegistryEntry::decode(&e.encode()).unwrap().unwrap();
-        prop_assert_eq!(decoded, e);
-    }
+        pt_assert_eq!(decoded, e);
+        Ok(())
+    });
+}
 
-    /// CRC32 detects every single-bit flip (guaranteed by the polynomial;
-    /// this is the §3.2 checksum's job).
-    #[test]
-    fn crc32_detects_any_single_bit_flip(
-        mut data in proptest::collection::vec(any::<u8>(), 1..2048),
-        pos_seed in any::<usize>(),
-        bit in 0u8..8,
-    ) {
+/// CRC32 detects every single-bit flip (guaranteed by the polynomial;
+/// this is the §3.2 checksum's job).
+#[test]
+fn crc32_detects_any_single_bit_flip() {
+    check("crc32_detects_any_single_bit_flip", Config::default(), |g: &mut Gen| {
+        let mut data = g.bytes(1, 2048);
+        let bit = g.in_range(0u8..8);
+        let pos = g.in_range(0..data.len());
         let before = crc32(&data);
-        let pos = pos_seed % data.len();
         data[pos] ^= 1 << bit;
-        prop_assert_ne!(crc32(&data), before);
-    }
+        pt_assert_ne!(crc32(&data), before);
+        Ok(())
+    });
+}
 
-    /// The disk never loses a write that completed before a crash, for any
-    /// schedule of writes and any crash time.
-    #[test]
-    fn disk_preserves_completed_writes(
-        writes in proptest::collection::vec((0u64..16, any::<u8>()), 1..24),
-        crash_frac in 0.0f64..1.5,
-    ) {
+/// The disk never loses a write that completed before a crash, for any
+/// schedule of writes and any crash time.
+#[test]
+fn disk_preserves_completed_writes() {
+    check("disk_preserves_completed_writes", Config::default(), |g: &mut Gen| {
+        let writes: Vec<(u64, u8)> =
+            g.vec(1, 24, |g| (g.in_range(0u64..16), g.u8()));
+        let crash_frac = g.f64() * 1.5;
         let mut disk = SimDisk::new(16, DiskModel::paper_scsi());
         let mut completions = Vec::new();
         for &(block, fill) in &writes {
@@ -60,30 +58,33 @@ proptest! {
             completions.push((block, fill, done));
         }
         let last = completions.last().expect("non-empty").2;
-        let crash_at = SimTime::from_micros(
-            (last.as_micros() as f64 * crash_frac) as u64,
-        );
+        let crash_at = SimTime::from_micros((last.as_micros() as f64 * crash_frac) as u64);
         disk.crash(crash_at);
         // For each block, the latest write completed strictly before the
         // crash must be visible unless a later (possibly torn/lost) write
         // to the same block overwrote it.
         for (i, &(block, fill, done)) in completions.iter().enumerate() {
-            let later_write_same_block = completions[i + 1..]
-                .iter()
-                .any(|&(b, _, _)| b == block);
+            let later_write_same_block =
+                completions[i + 1..].iter().any(|&(b, _, _)| b == block);
             if done <= crash_at && !later_write_same_block {
-                prop_assert!(!disk.is_torn(block));
-                prop_assert!(disk.peek(block).iter().all(|&b| b == fill));
+                pt_assert!(!disk.is_torn(block), "block {block} torn");
+                pt_assert!(
+                    disk.peek(block).iter().all(|&b| b == fill),
+                    "block {block} lost fill {fill}"
+                );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The page-cache dirty counter always equals the number of dirty keys,
-    /// across arbitrary operation sequences.
-    #[test]
-    fn page_cache_dirty_count_is_exact(
-        ops in proptest::collection::vec((0u8..5, 0u64..12), 1..200),
-    ) {
+/// The page-cache dirty counter always equals the number of dirty keys,
+/// across arbitrary operation sequences.
+#[test]
+fn page_cache_dirty_count_is_exact() {
+    check("page_cache_dirty_count_is_exact", Config::default(), |g: &mut Gen| {
+        let ops: Vec<(u8, u64)> =
+            g.vec(1, 200, |g| (g.in_range(0u8..5), g.in_range(0u64..12)));
         let mut cache: PageCache<u64> = PageCache::new((0..4).map(PageNum).collect());
         for (op, key) in ops {
             match op {
@@ -105,18 +106,20 @@ proptest! {
                     cache.lookup(key);
                 }
             }
-            prop_assert_eq!(cache.dirty_count(), cache.dirty_keys().len());
-            prop_assert!(cache.len() <= cache.capacity());
+            pt_assert_eq!(cache.dirty_count(), cache.dirty_keys().len());
+            pt_assert!(cache.len() <= cache.capacity());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// kmalloc never hands out overlapping blocks and kfree returns them,
-    /// for arbitrary alloc/free interleavings.
-    #[test]
-    fn allocator_blocks_never_overlap(
-        ops in proptest::collection::vec((any::<bool>(), 1u64..512), 1..100),
-    ) {
+/// kmalloc never hands out overlapping blocks and kfree returns them,
+/// for arbitrary alloc/free interleavings.
+#[test]
+fn allocator_blocks_never_overlap() {
+    check("allocator_blocks_never_overlap", Config::default(), |g: &mut Gen| {
         use rio::kernel::alloc::{heap_map, KernelAlloc, HDR_BYTES};
+        let ops: Vec<(bool, u64)> = g.vec(1, 100, |g| (g.bool(), g.in_range(1u64..512)));
         let mut mem = rio::mem::PhysMem::new(rio::mem::MemConfig::small());
         let heap = mem.layout().heap;
         let mut alloc = KernelAlloc::new(heap.start + heap_map::ARENA_OFFSET, heap.end);
@@ -130,8 +133,10 @@ proptest! {
                     let hi = a + s;
                     let nlo = addr - HDR_BYTES;
                     let nhi = addr + size;
-                    prop_assert!(nhi <= lo || nlo >= hi,
-                        "overlap: new [{nlo},{nhi}) vs live [{lo},{hi})");
+                    pt_assert!(
+                        nhi <= lo || nlo >= hi,
+                        "overlap: new [{nlo},{nhi}) vs live [{lo},{hi})"
+                    );
                 }
                 live.push((addr, size));
             } else {
@@ -139,15 +144,20 @@ proptest! {
                 alloc.kfree(&mut mem, addr).unwrap();
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// memTest replay reconstructs exactly the state the live run produced,
-    /// for arbitrary seeds and op counts.
-    #[test]
-    fn memtest_replay_is_exact(seed in 0u64..500, ops in 1u64..60) {
+/// memTest replay reconstructs exactly the state the live run produced,
+/// for arbitrary seeds and op counts.
+#[test]
+fn memtest_replay_is_exact() {
+    check("memtest_replay_is_exact", Config::with_cases(24), |g: &mut Gen| {
         use rio::core::RioMode;
         use rio::kernel::{Kernel, KernelConfig, Policy};
         use rio::workloads::{MemTest, MemTestConfig};
+        let seed = g.in_range(0u64..500);
+        let ops = g.len_between(1, 60) as u64;
         let config = KernelConfig::small(Policy::rio(RioMode::Unprotected));
         let mut k = Kernel::mkfs_and_mount(&config).unwrap();
         let cfg = MemTestConfig::small(seed);
@@ -155,42 +165,43 @@ proptest! {
         mt.setup(&mut k).unwrap();
         mt.run(&mut k, ops).unwrap();
         let (replayed, _) = MemTest::replay(&cfg, ops);
-        prop_assert_eq!(&replayed.files, &mt.model().files);
-        prop_assert_eq!(&replayed.dirs, &mt.model().dirs);
+        pt_assert_eq!(&replayed.files, &mt.model().files);
+        pt_assert_eq!(&replayed.dirs, &mt.model().dirs);
         // And the kernel state matches the model.
         let verdict = mt.model().verify(&mut k, None).unwrap();
-        prop_assert!(!verdict.is_corrupt());
-    }
+        pt_assert!(!verdict.is_corrupt(), "live kernel diverged: {verdict:?}");
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Warm reboot recovers every file for arbitrary file shapes, with no
-    /// disk writes before the crash.
-    #[test]
-    fn warm_reboot_recovers_arbitrary_files(
-        files in proptest::collection::vec(
-            (1usize..40_000, any::<u8>()),
-            1..6,
-        ),
-    ) {
-        use rio::core::RioMode;
-        use rio::kernel::{Kernel, KernelConfig, PanicReason, Policy};
-        let config = KernelConfig::small(Policy::rio(RioMode::Protected));
-        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
-        for (i, &(len, fill)) in files.iter().enumerate() {
-            let fd = k.create(&format!("/f{i}")).unwrap();
-            k.write(fd, &vec![fill; len]).unwrap();
-            k.close(fd).unwrap();
-        }
-        prop_assert_eq!(k.machine.disk.stats().writes, 0);
-        k.crash_now(PanicReason::Watchdog);
-        let (image, disk) = k.into_crash_artifacts();
-        let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
-        for (i, &(len, fill)) in files.iter().enumerate() {
-            let got = k2.file_contents(&format!("/f{i}")).unwrap();
-            prop_assert_eq!(got, vec![fill; len]);
-        }
-    }
+/// Warm reboot recovers every file for arbitrary file shapes, with no
+/// disk writes before the crash.
+#[test]
+fn warm_reboot_recovers_arbitrary_files() {
+    check(
+        "warm_reboot_recovers_arbitrary_files",
+        Config::with_cases(16),
+        |g: &mut Gen| {
+            use rio::core::RioMode;
+            use rio::kernel::{Kernel, KernelConfig, PanicReason, Policy};
+            let files: Vec<(usize, u8)> =
+                g.vec(1, 6, |g| (g.len_between(1, 40_000).max(1), g.u8()));
+            let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+            let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+            for (i, &(len, fill)) in files.iter().enumerate() {
+                let fd = k.create(&format!("/f{i}")).unwrap();
+                k.write(fd, &vec![fill; len]).unwrap();
+                k.close(fd).unwrap();
+            }
+            pt_assert_eq!(k.machine.disk.stats().writes, 0);
+            k.crash_now(PanicReason::Watchdog);
+            let (image, disk) = k.into_crash_artifacts();
+            let (mut k2, _) = Kernel::warm_boot(&config, &image, disk).unwrap();
+            for (i, &(len, fill)) in files.iter().enumerate() {
+                let got = k2.file_contents(&format!("/f{i}")).unwrap();
+                pt_assert_eq!(got, vec![fill; len]);
+            }
+            Ok(())
+        },
+    );
 }

@@ -4,124 +4,143 @@
 //! (A real warm-reboot implementation has the same obligation: it parses
 //! memory a sick kernel scribbled over.)
 
-use proptest::prelude::*;
 use rio::core::warm;
+use rio::det::proptest_lite::{check, Config, Gen};
+use rio::det::{pt_assert, pt_assert_eq};
 use rio::disk::{DiskModel, SimDisk, BLOCK_SIZE};
 use rio::kernel::{fsck, Kernel, KernelConfig, PanicReason, Policy};
 use rio::mem::{MemBus, MemConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The warm-reboot scanner accepts any registry contents: random bytes
-    /// sprayed over the registry region must never panic the scanner, and
-    /// nothing unverifiable may be "recovered".
-    #[test]
-    fn scanner_survives_random_registry_garbage(
-        writes in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..300),
-    ) {
-        let mut bus = MemBus::new(MemConfig::small());
-        let reg = bus.layout().registry;
-        for (off, byte) in writes {
-            let addr = reg.start + (off as u64 % reg.len());
-            bus.mem_mut().write_u8(addr, byte);
-        }
-        let recovery = warm::scan_registry(&bus.into_image());
-        // Whatever was recovered must at least be structurally sound.
-        for m in &recovery.metadata {
-            prop_assert_eq!(m.data.len(), BLOCK_SIZE);
-        }
-        for p in &recovery.file_pages {
-            prop_assert!(p.size as usize <= BLOCK_SIZE);
-            prop_assert_eq!(p.data.len(), p.size as usize);
-        }
-    }
-
-    /// fsck accepts any disk contents without panicking: random block
-    /// scribbles over a formatted volume are repaired or rejected, never
-    /// crash the tool.
-    #[test]
-    fn fsck_survives_random_disk_garbage(
-        scribbles in proptest::collection::vec(
-            (0u64..256, any::<u16>(), any::<u8>()),
-            0..60,
-        ),
-    ) {
-        let mut disk = SimDisk::new(256, DiskModel::instant());
-        Kernel::format(&mut disk, &rio::kernel::DiskGeometry::new(256, 128, 8));
-        for (block, off, byte) in scribbles {
-            let mut data = disk.peek(block).to_vec();
-            data[off as usize % BLOCK_SIZE] = byte;
-            disk.poke(block, &data);
-        }
-        // Either repaired or a clean fatal error; never a host panic.
-        match fsck::repair(&mut disk) {
-            Ok(_) | Err(fsck::FsckError::BadSuperblock) => {}
-        }
-    }
-
-    /// A kernel whose text is completely shredded crashes *as a simulated
-    /// system* (panic reason recorded), never as a Rust process, and the
-    /// memory image remains scannable.
-    #[test]
-    fn shredded_kernel_text_crashes_cleanly(
-        flips in proptest::collection::vec((any::<u32>(), 0u8..8), 1..120),
-        seed in any::<u64>(),
-    ) {
-        use rio::core::RioMode;
-        let config = KernelConfig::small(Policy::rio(RioMode::Protected));
-        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
-        let fd = k.create("/x").unwrap();
-        k.write(fd, &vec![9u8; 4096]).unwrap();
-        k.close(fd).unwrap();
-        // Shred live text bits.
-        let bytes = k.machine.store.installed_instrs() * 8;
-        let base = k.machine.store.text_base();
-        for (off, bit) in flips {
-            let addr = base + (off as u64 % bytes);
-            k.machine.bus.mem_mut().flip_bit(addr, bit);
-        }
-        // Drive syscalls; every outcome must be a clean kernel-level error.
-        for i in 0..20 {
-            let path = format!("/y{seed}_{i}");
-            match k.create(&path) {
-                Ok(fd) => {
-                    let _ = k.write(fd, b"data");
-                    let _ = k.close(fd);
-                }
-                Err(_) => break,
+/// The warm-reboot scanner accepts any registry contents: random bytes
+/// sprayed over the registry region must never panic the scanner, and
+/// nothing unverifiable may be "recovered".
+#[test]
+fn scanner_survives_random_registry_garbage() {
+    check(
+        "scanner_survives_random_registry_garbage",
+        Config::with_cases(32),
+        |g: &mut Gen| {
+            let writes: Vec<(u16, u8)> = g.vec(0, 300, |g| (g.u16(), g.u8()));
+            let mut bus = MemBus::new(MemConfig::small());
+            let reg = bus.layout().registry;
+            for (off, byte) in writes {
+                let addr = reg.start + (off as u64 % reg.len());
+                bus.mem_mut().write_u8(addr, byte);
             }
-        }
-        if !k.is_crashed() {
-            k.crash_now(PanicReason::Watchdog);
-        }
-        let (image, disk) = k.into_crash_artifacts();
-        // The image is still scannable and a reboot path completes.
-        let _ = warm::scan_registry(&image);
-        let _ = Kernel::warm_boot(&config, &image, disk);
-    }
+            let recovery = warm::scan_registry(&bus.into_image());
+            // Whatever was recovered must at least be structurally sound.
+            for m in &recovery.metadata {
+                pt_assert_eq!(m.data.len(), BLOCK_SIZE);
+            }
+            for p in &recovery.file_pages {
+                pt_assert!(p.size as usize <= BLOCK_SIZE);
+                pt_assert_eq!(p.data.len(), p.size as usize);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Random interpreted programs terminate with a classified outcome.
-    #[test]
-    fn random_programs_never_escape_the_interpreter(
-        raw in proptest::collection::vec(any::<u8>(), 8..512),
-    ) {
-        use rio::cpu::{Cpu, RoutineStore, Assembler};
-        let mut bus = MemBus::new(MemConfig::small());
-        let mut store = RoutineStore::new(bus.layout().text);
-        // Install a placeholder routine, then overwrite it with raw bytes.
-        let mut asm = Assembler::new();
-        let instrs = raw.len() / 8;
-        for _ in 0..instrs {
-            asm.nop();
-        }
-        let handle = store.install(&mut bus, "fuzz", asm).unwrap();
-        let base = store.instr_addr(handle.first_index);
-        bus.mem_mut().write_bytes(base, &raw[..instrs * 8]);
-        let mut cpu = Cpu::new();
-        let result = cpu.run(&mut bus, &store, handle, 5_000);
-        // Any of the three outcomes is fine; reaching here is the test.
-        let _ = result.outcome;
-        prop_assert!(result.steps <= 5_000);
-    }
+/// fsck accepts any disk contents without panicking: random block
+/// scribbles over a formatted volume are repaired or rejected, never
+/// crash the tool.
+#[test]
+fn fsck_survives_random_disk_garbage() {
+    check(
+        "fsck_survives_random_disk_garbage",
+        Config::with_cases(32),
+        |g: &mut Gen| {
+            let scribbles: Vec<(u64, u16, u8)> =
+                g.vec(0, 60, |g| (g.in_range(0u64..256), g.u16(), g.u8()));
+            let mut disk = SimDisk::new(256, DiskModel::instant());
+            Kernel::format(&mut disk, &rio::kernel::DiskGeometry::new(256, 128, 8));
+            for (block, off, byte) in scribbles {
+                let mut data = disk.peek(block).to_vec();
+                data[off as usize % BLOCK_SIZE] = byte;
+                disk.poke(block, &data);
+            }
+            // Either repaired or a clean fatal error; never a host panic.
+            match fsck::repair(&mut disk) {
+                Ok(_) | Err(fsck::FsckError::BadSuperblock) => {}
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A kernel whose text is completely shredded crashes *as a simulated
+/// system* (panic reason recorded), never as a Rust process, and the
+/// memory image remains scannable.
+#[test]
+fn shredded_kernel_text_crashes_cleanly() {
+    check(
+        "shredded_kernel_text_crashes_cleanly",
+        Config::with_cases(24),
+        |g: &mut Gen| {
+            use rio::core::RioMode;
+            let flips: Vec<(u32, u8)> = g.vec(1, 120, |g| (g.u32(), g.in_range(0u8..8)));
+            let seed = g.u64();
+            let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+            let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+            let fd = k.create("/x").unwrap();
+            k.write(fd, &vec![9u8; 4096]).unwrap();
+            k.close(fd).unwrap();
+            // Shred live text bits.
+            let bytes = k.machine.store.installed_instrs() * 8;
+            let base = k.machine.store.text_base();
+            for (off, bit) in flips {
+                let addr = base + (off as u64 % bytes);
+                k.machine.bus.mem_mut().flip_bit(addr, bit);
+            }
+            // Drive syscalls; every outcome must be a clean kernel-level error.
+            for i in 0..20 {
+                let path = format!("/y{seed}_{i}");
+                match k.create(&path) {
+                    Ok(fd) => {
+                        let _ = k.write(fd, b"data");
+                        let _ = k.close(fd);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if !k.is_crashed() {
+                k.crash_now(PanicReason::Watchdog);
+            }
+            let (image, disk) = k.into_crash_artifacts();
+            // The image is still scannable and a reboot path completes.
+            let _ = warm::scan_registry(&image);
+            let _ = Kernel::warm_boot(&config, &image, disk);
+            Ok(())
+        },
+    );
+}
+
+/// Random interpreted programs terminate with a classified outcome.
+#[test]
+fn random_programs_never_escape_the_interpreter() {
+    check(
+        "random_programs_never_escape_the_interpreter",
+        Config::with_cases(48),
+        |g: &mut Gen| {
+            use rio::cpu::{Assembler, Cpu, RoutineStore};
+            let raw = g.bytes(8, 512);
+            let mut bus = MemBus::new(MemConfig::small());
+            let mut store = RoutineStore::new(bus.layout().text);
+            // Install a placeholder routine, then overwrite it with raw bytes.
+            let mut asm = Assembler::new();
+            let instrs = raw.len() / 8;
+            for _ in 0..instrs {
+                asm.nop();
+            }
+            let handle = store.install(&mut bus, "fuzz", asm).unwrap();
+            let base = store.instr_addr(handle.first_index);
+            bus.mem_mut().write_bytes(base, &raw[..instrs * 8]);
+            let mut cpu = Cpu::new();
+            let result = cpu.run(&mut bus, &store, handle, 5_000);
+            // Any of the three outcomes is fine; reaching here is the test.
+            let _ = result.outcome;
+            pt_assert!(result.steps <= 5_000);
+            Ok(())
+        },
+    );
 }
