@@ -1,0 +1,63 @@
+//! Write-path throughput microbenchmarks.
+//!
+//! Times single `pwrite` calls against a warm 3-page file under
+//! `Policy::rio(Protected)` — the pure in-memory fast path (no disk
+//! writes, every byte through the interpreted `bcopy`, the registry
+//! CHANGING/DIRTY discipline, and the page re-CRC). Four shapes:
+//!
+//! * `small_overwrite_100b` — 100 bytes mid-page: the case the sector
+//!   checksum cache exists for (re-CRC 512 B, not 8 KB);
+//! * `aligned_sector_512b` — one whole 512 B sector;
+//! * `page_overwrite_8k` — a full page;
+//! * `spanning_pages_4k` — 4 KB crossing a page boundary (two windows,
+//!   two registry updates).
+//!
+//! Emits the human table on stdout and machine-readable JSON (median /
+//! p95 ns per op) to `BENCH_write.json` at the repository root — override
+//! with `RIO_BENCH_JSON`. Knobs: `RIO_BENCH_ITERS` (default 100),
+//! `RIO_BENCH_WARMUP` (default 10).
+
+use std::hint::black_box;
+
+use rio_bench::{env_u64, runner::Runner};
+use rio_core::RioMode;
+use rio_kernel::{Fd, Kernel, KernelConfig, Policy};
+
+fn warm_kernel() -> (Kernel, Fd) {
+    let mut k =
+        Kernel::mkfs_and_mount(&KernelConfig::small(Policy::rio(RioMode::Protected))).unwrap();
+    let fd = k.create("/bench.dat").unwrap();
+    let page = vec![0x42u8; 8192];
+    for _ in 0..3 {
+        k.write(fd, &page).unwrap();
+    }
+    (k, fd)
+}
+
+fn main() {
+    let warmup = env_u64("RIO_BENCH_WARMUP", 10) as u32;
+    let iters = env_u64("RIO_BENCH_ITERS", 100) as u32;
+    let mut r = Runner::new(warmup, iters);
+    eprintln!("write-path microbenchmarks ({iters} iterations, one pwrite per iteration)...");
+
+    let cases: [(&str, u64, usize); 4] = [
+        ("write/small_overwrite_100b", 1000, 100),
+        ("write/aligned_sector_512b", 1536, 512),
+        ("write/page_overwrite_8k", 0, 8192),
+        ("write/spanning_pages_4k", 6144, 4096),
+    ];
+    for (name, offset, len) in cases {
+        let (mut k, fd) = warm_kernel();
+        let data = vec![0x7Au8; len];
+        r.bench_bytes(name, len as u64, || {
+            black_box(k.pwrite(fd, offset, &data).unwrap());
+        });
+    }
+
+    println!("{}", r.render());
+    let path = std::env::var("RIO_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_write.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, r.to_json())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}

@@ -136,6 +136,34 @@ impl Runner {
         self.results.push(result);
     }
 
+    /// Serializes the results as JSON (hand-rolled — the workspace is
+    /// offline and dependency-free). Names contain only benchmark
+    /// identifiers, so no string escaping is needed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let bytes = match r.bytes_per_iter {
+                Some(b) => b.to_string(),
+                None => "null".to_owned(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \
+                 \"median_ns\": {}, \"p95_ns\": {}, \"mean_ns\": {}, \
+                 \"bytes_per_iter\": {}}}{}\n",
+                r.name,
+                r.iters,
+                r.min_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.mean_ns,
+                bytes,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Renders the final report table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -213,6 +241,22 @@ mod tests {
         assert_eq!(r.results().len(), 1);
         assert_eq!(r.results()[0].name, "checksum/crc32_8k");
         assert!(r.render().contains("filtered out"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut r = Runner::new(0, 2);
+        r.bench_bytes("write/small", 100, || {});
+        r.bench("plain", || {});
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"write/small\""));
+        assert!(json.contains("\"bytes_per_iter\": 100"));
+        assert!(json.contains("\"bytes_per_iter\": null"));
+        assert!(json.contains("\"median_ns\":"));
+        // One comma between the two entries, none after the last.
+        assert_eq!(json.matches("}},\n").count(), 0);
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.trim_end().ends_with("]\n}"));
     }
 
     #[test]

@@ -181,15 +181,49 @@ impl KernelRoutines {
     }
 
     /// `bcopy`: copy `r3` bytes from `r1` to `r2`.
+    ///
+    /// Word-wide fast path: byte-copies until `dst` is 8-aligned, then moves
+    /// 64-byte blocks (eight unrolled `ld64`/`st64` pairs), then 8-byte
+    /// words, then a byte tail. Destination alignment keeps every wide store
+    /// inside one page, and stores run in ascending address order — so a
+    /// copy that runs into a protected or out-of-bounds page faults on
+    /// exactly the same byte, with exactly the same earlier bytes already
+    /// written, as the bytewise loop would.
     fn asm_bcopy() -> Assembler {
         let (src, dst, len) = (Reg(1), Reg(2), Reg(3));
-        let (data, rem, eight) = (Reg(11), Reg(12), Reg(13));
+        let (data, rem, c8, c64, seven, t) =
+            (Reg(11), Reg(12), Reg(13), Reg(14), Reg(10), Reg(15));
         let mut a = Assembler::new();
         // Initialization prologue (the "initialization" fault deletes these).
         a.mov(rem, len);
-        a.li(eight, 8);
+        a.li(c8, 8);
+        a.li(c64, 64);
+        a.li(seven, 7);
+        // Head: byte copy until the destination is 8-aligned.
+        a.bind_name("align");
+        a.bltu(rem, c8, "tail");
+        a.and(t, dst, seven);
+        a.beq(t, Reg::ZERO, "bulk");
+        a.ld8(data, src, 0);
+        a.st8(dst, 0, data);
+        a.addi(src, src, 1);
+        a.addi(dst, dst, 1);
+        a.addi(rem, rem, -1);
+        a.jmp("align");
+        // Bulk: 64 bytes per iteration, ascending 8-byte stores.
+        a.bind_name("bulk");
+        a.bltu(rem, c64, "wide");
+        for off in (0..64).step_by(8) {
+            a.ld64(data, src, off);
+            a.st64(dst, off, data);
+        }
+        a.addi(src, src, 64);
+        a.addi(dst, dst, 64);
+        a.addi(rem, rem, -64);
+        a.jmp("bulk");
+        // Word loop for the 8..64-byte remainder.
         a.bind_name("wide");
-        a.bltu(rem, eight, "tail");
+        a.bltu(rem, c8, "tail");
         a.ld64(data, src, 0);
         a.st64(dst, 0, data);
         a.addi(src, src, 8);
@@ -209,14 +243,34 @@ impl KernelRoutines {
         a
     }
 
-    /// `bzero`: zero `r2` bytes at `r1`.
+    /// `bzero`: zero `r2` bytes at `r1`. Same structure as `bcopy`: aligned
+    /// head, 64-byte unrolled bulk, word loop, byte tail — same
+    /// fault-on-the-same-byte guarantee.
     fn asm_bzero() -> Assembler {
         let (dst, len) = (Reg(1), Reg(2));
-        let eight = Reg(13);
+        let (c8, c64, seven, t) = (Reg(13), Reg(14), Reg(10), Reg(15));
         let mut a = Assembler::new();
-        a.li(eight, 8);
+        a.li(c8, 8);
+        a.li(c64, 64);
+        a.li(seven, 7);
+        a.bind_name("align");
+        a.bltu(len, c8, "tail");
+        a.and(t, dst, seven);
+        a.beq(t, Reg::ZERO, "bulk");
+        a.st8(dst, 0, Reg::ZERO);
+        a.addi(dst, dst, 1);
+        a.addi(len, len, -1);
+        a.jmp("align");
+        a.bind_name("bulk");
+        a.bltu(len, c64, "wide");
+        for off in (0..64).step_by(8) {
+            a.st64(dst, off, Reg::ZERO);
+        }
+        a.addi(dst, dst, 64);
+        a.addi(len, len, -64);
+        a.jmp("bulk");
         a.bind_name("wide");
-        a.bltu(len, eight, "tail");
+        a.bltu(len, c8, "tail");
         a.st64(dst, 0, Reg::ZERO);
         a.addi(dst, dst, 8);
         a.addi(len, len, -8);
@@ -233,12 +287,24 @@ impl KernelRoutines {
     }
 
     /// `bcmp`: compare `r3` bytes at `r1` and `r2`; `r10 = 0` iff equal.
+    /// Word-wide: compares 8 bytes per iteration (loads never need
+    /// alignment — only equality matters), byte loop for the tail.
     fn asm_bcmp() -> Assembler {
         let (pa, pb, len, res) = (Reg(1), Reg(2), Reg(3), Reg(10));
-        let (da, db) = (Reg(11), Reg(12));
+        let (da, db, c8) = (Reg(11), Reg(12), Reg(13));
         let mut a = Assembler::new();
         a.li(res, 0);
-        a.bind_name("loop");
+        a.li(c8, 8);
+        a.bind_name("wide");
+        a.bltu(len, c8, "tail");
+        a.ld64(da, pa, 0);
+        a.ld64(db, pb, 0);
+        a.bne(da, db, "diff");
+        a.addi(pa, pa, 8);
+        a.addi(pb, pb, 8);
+        a.addi(len, len, -8);
+        a.jmp("wide");
+        a.bind_name("tail");
         a.beq(len, Reg::ZERO, "done");
         a.ld8(da, pa, 0);
         a.ld8(db, pb, 0);
@@ -246,7 +312,7 @@ impl KernelRoutines {
         a.addi(pa, pa, 1);
         a.addi(pb, pb, 1);
         a.addi(len, len, -1);
-        a.jmp("loop");
+        a.jmp("tail");
         a.bind_name("diff");
         a.li(res, 1);
         a.bind_name("done");
@@ -323,6 +389,126 @@ mod tests {
         assert_eq!(bus.mem().slice(dst, 1000), &data[..]);
         // Byte after the copy untouched.
         assert_eq!(bus.mem().read_u8(dst + 1000), 0);
+    }
+
+    #[test]
+    fn bcopy_exact_for_all_alignments_and_lengths() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let src0 = bus.layout().heap.start + 4096;
+        let dst0 = bus.layout().ubc.start + 4096;
+        let pattern: Vec<u8> = (0..700u32).map(|i| (i * 13 % 251) as u8 + 1).collect();
+        for s in 0..8u64 {
+            for d in 0..8u64 {
+                for len in [0u64, 1, 7, 8, 9, 63, 64, 65, 100, 511, 512] {
+                    bus.mem_mut().fill(dst0 - 16, 700 + 32, 0);
+                    bus.mem_mut()
+                        .write_bytes(src0 + s, &pattern[..len as usize]);
+                    let res = run_bcopy(
+                        &mut cpu, &mut bus, &store, &r, src0 + s, dst0 + d, len, 100_000,
+                    );
+                    assert!(res.is_done(), "s={s} d={d} len={len}");
+                    assert_eq!(
+                        bus.mem().slice(dst0 + d, len),
+                        &pattern[..len as usize],
+                        "s={s} d={d} len={len}"
+                    );
+                    // Bytes on either side untouched.
+                    assert_eq!(bus.mem().read_u8(dst0 + d + len), 0);
+                    assert_eq!(bus.mem().read_u8(dst0 + d - 1), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_bcopy_traps_on_the_exact_boundary_byte() {
+        // The §3.3 guarantee the word-wide path must preserve: a copy that
+        // runs into a protected page writes every byte before the page,
+        // faults at the page base, and leaves the protected page untouched —
+        // byte-identical to what the bytewise loop would do.
+        let (mut bus, store, r, mut cpu) = machine();
+        bus.protection_mut()
+            .set_mode(rio_mem::ProtectionMode::Hardware);
+        bus.protection_mut().set_kseg_through_tlb(true);
+        let second = rio_mem::PageNum::containing(bus.layout().ubc.start + 8192);
+        bus.protection_mut().protect(second);
+        let src = bus.layout().heap.start + 4096;
+        bus.mem_mut().fill(src, 300, 0x77);
+        for misalign in [0u64, 1, 3, 7] {
+            let before = 131 + misalign; // bytes before the boundary
+            let start = second.base() - before;
+            bus.mem_mut().fill(start, before, 0);
+            let res = run_bcopy(
+                &mut cpu,
+                &mut bus,
+                &store,
+                &r,
+                src,
+                crate::kseg_addr(start),
+                300,
+                100_000,
+            );
+            match res.outcome {
+                crate::interp::Outcome::Panic(crate::interp::PanicCause::MemFault(
+                    rio_mem::MemFault::ProtectionViolation { addr, page, .. },
+                )) => {
+                    assert_eq!(addr, second.base(), "fault on the boundary byte");
+                    assert_eq!(page, second);
+                }
+                ref other => panic!("expected protection fault, got {other:?}"),
+            }
+            assert!(
+                bus.mem().slice(start, before).iter().all(|&b| b == 0x77),
+                "every byte before the boundary written (misalign {misalign})"
+            );
+            assert_eq!(bus.mem().read_u8(second.base()), 0, "protected page clean");
+        }
+    }
+
+    #[test]
+    fn bzero_exact_for_all_alignments_and_lengths() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let dst0 = bus.layout().heap.start + 4096;
+        for d in 0..8u64 {
+            for len in [0u64, 1, 7, 8, 9, 63, 64, 65, 100, 511, 512] {
+                bus.mem_mut().fill(dst0 - 16, 700 + 32, 0xFF);
+                cpu.set_reg(Reg(1), dst0 + d);
+                cpu.set_reg(Reg(2), len);
+                let res = cpu.run(&mut bus, &store, r.bzero, 100_000);
+                assert!(res.is_done(), "d={d} len={len}");
+                assert!(
+                    bus.mem().slice(dst0 + d, len).iter().all(|&b| b == 0),
+                    "d={d} len={len}"
+                );
+                assert_eq!(bus.mem().read_u8(dst0 + d + len), 0xFF);
+                assert_eq!(bus.mem().read_u8(dst0 + d - 1), 0xFF);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_bcmp_catches_single_byte_differences_everywhere() {
+        let (mut bus, store, r, mut cpu) = machine();
+        let a = bus.layout().heap.start + 4096;
+        let b = a + 8192;
+        for len in [1u64, 7, 8, 9, 64, 100] {
+            for diff_at in 0..len {
+                bus.mem_mut().fill(a, len, 0x5C);
+                bus.mem_mut().fill(b, len, 0x5C);
+                bus.mem_mut().write_u8(b + diff_at, 0x5D);
+                cpu.set_reg(Reg(1), a);
+                cpu.set_reg(Reg(2), b);
+                cpu.set_reg(Reg(3), len);
+                assert!(cpu.run(&mut bus, &store, r.bcmp, 100_000).is_done());
+                assert_eq!(cpu.reg(Reg(10)), 1, "len={len} diff_at={diff_at}");
+            }
+            bus.mem_mut().fill(b, len, 0x5C);
+            cpu.set_reg(Reg(1), a);
+            cpu.set_reg(Reg(2), b);
+            cpu.set_reg(Reg(3), len);
+            assert!(cpu.run(&mut bus, &store, r.bcmp, 100_000).is_done());
+            assert_eq!(cpu.reg(Reg(10)), 0, "len={len} equal");
+        }
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub struct SimDisk {
     /// Blocks corrupted by a mid-write crash; cleared when rewritten.
     torn: Vec<bool>,
     pending: VecDeque<PendingWrite>,
+    /// Retired block buffers, recycled by [`SimDisk::submit_write_from`] so
+    /// the steady-state write path performs one copy and no allocation.
+    free: Vec<Vec<u8>>,
     /// When the head finishes its last accepted request.
     busy_until: SimTime,
     /// Block number of the last request (sequential detection).
@@ -64,6 +67,7 @@ impl SimDisk {
             blocks: vec![vec![0u8; BLOCK_SIZE]; num_blocks as usize],
             torn: vec![false; num_blocks as usize],
             pending: VecDeque::new(),
+            free: Vec::new(),
             busy_until: SimTime::ZERO,
             last_block: None,
             stats: DiskStats::default(),
@@ -101,7 +105,8 @@ impl SimDisk {
         while let Some(front) = self.pending.front() {
             if front.end <= now {
                 let w = self.pending.pop_front().expect("front exists");
-                self.blocks[w.block as usize] = w.data;
+                let old = std::mem::replace(&mut self.blocks[w.block as usize], w.data);
+                self.free.push(old);
                 self.torn[w.block as usize] = false;
             } else {
                 break;
@@ -139,8 +144,39 @@ impl SimDisk {
         now: SimTime,
         force_sequential: bool,
     ) -> SimTime {
-        assert!(block < self.num_blocks(), "block {block} out of range");
         assert_eq!(data.len(), BLOCK_SIZE, "write must be one full block");
+        self.submit_pending(block, data, now, force_sequential)
+    }
+
+    /// [`SimDisk::submit_write`] from a borrowed buffer: the single copy
+    /// into the request queue happens here, so callers writing out of a
+    /// live memory image (the UBC flush path) need not clone the page
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// As [`SimDisk::submit_write`].
+    pub fn submit_write_from(
+        &mut self,
+        block: u64,
+        data: &[u8],
+        now: SimTime,
+        force_sequential: bool,
+    ) -> SimTime {
+        assert_eq!(data.len(), BLOCK_SIZE, "write must be one full block");
+        let mut buf = self.free.pop().unwrap_or_else(|| vec![0u8; BLOCK_SIZE]);
+        buf.copy_from_slice(data);
+        self.submit_pending(block, buf, now, force_sequential)
+    }
+
+    fn submit_pending(
+        &mut self,
+        block: u64,
+        data: Vec<u8>,
+        now: SimTime,
+        force_sequential: bool,
+    ) -> SimTime {
+        assert!(block < self.num_blocks(), "block {block} out of range");
         self.apply_completed(now);
         let kind = self.positioning(block, force_sequential);
         let start = self.busy_until.max(now);
@@ -252,6 +288,21 @@ mod tests {
         let done = d.submit_write(5, block_of(0x5A), SimTime::ZERO, false);
         let (data, _) = d.read(5, done, false);
         assert_eq!(data, block_of(0x5A));
+    }
+
+    #[test]
+    fn submit_write_from_matches_owned_submit_and_recycles_buffers() {
+        let mut d = disk();
+        let done = d.submit_write_from(5, &block_of(0x5A), SimTime::ZERO, false);
+        let (data, _) = d.read(5, done, false);
+        assert_eq!(data, block_of(0x5A));
+        // The retired block buffer is recycled for the next borrowed write.
+        d.sync(done);
+        assert_eq!(d.free.len(), 1);
+        d.submit_write_from(6, &block_of(0x6B), done, false);
+        assert_eq!(d.free.len(), 0);
+        let (data, _) = d.read(6, d.idle_at(done), false);
+        assert_eq!(data, block_of(0x6B));
     }
 
     #[test]

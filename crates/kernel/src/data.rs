@@ -51,6 +51,7 @@ impl Kernel {
             None => {
                 if let Some(rio) = self.rio.as_mut() {
                     rio.prot.window_open(&mut self.machine.bus, page);
+                    self.machine.clock.charge_window();
                 }
                 let res = self.machine.bzero(page.base(), PAGE_SIZE as u64);
                 if let Some(rio) = self.rio.as_mut() {
@@ -61,6 +62,9 @@ impl Kernel {
         }
         let valid = Self::valid_bytes(inode.size, pidx);
         self.ubc.set_valid(key, valid);
+        // Fresh contents in a (possibly reused) frame: any cached sector
+        // CRCs for it are for the previous tenant.
+        self.crc_cache.invalidate_page(page);
         let crc = self.page_crc_prefix(page, valid);
         self.rio_write_entry(
             page,
@@ -82,8 +86,14 @@ impl Kernel {
         file_size.saturating_sub(start).min(PAGE_SIZE as u64) as u32
     }
 
-    fn page_crc_prefix(&self, page: PageNum, valid: u32) -> u32 {
-        rio_mem::crc32(&self.machine.bus.mem().page(page)[..valid as usize])
+    /// CRC of a UBC page's valid prefix, served from the sector checksum
+    /// cache: only sectors written since the last derivation are re-hashed,
+    /// and the page CRC is spliced together with `crc32_combine`'s shift
+    /// operator — bit-identical to `crc32(&page[..valid])` over the
+    /// legitimately written contents.
+    pub(crate) fn page_crc_prefix(&mut self, page: PageNum, valid: u32) -> u32 {
+        self.crc_cache
+            .prefix_crc(self.machine.bus.mem(), page, valid)
     }
 
     /// Best-effort block lookup used by the panic flush: reads whatever the
@@ -137,9 +147,13 @@ impl Kernel {
                 b
             }
         };
-        let data = self.machine.bus.mem().page(page).to_vec();
         let now = self.machine.clock.now();
-        let done = self.machine.disk.submit_write(block, data, now, false);
+        let done = self.machine.disk.submit_write_from(
+            block,
+            self.machine.bus.mem().page(page),
+            now,
+            false,
+        );
         if wait {
             self.machine.clock.wait_until(done);
             self.stats.sync_waits += 1;
@@ -236,7 +250,17 @@ impl Kernel {
             if let Some(rio) = self.rio.as_mut() {
                 rio.prot.window_close(&mut self.machine.bus, page);
             }
-            res.map_err(|e| self.die(e))?;
+            let effective = res.map_err(|e| self.die(e))?;
+            // Sector cache: exactly the bytes the (possibly hook-extended)
+            // copy touched in this page are now stale. An overrun past the
+            // page end lands in a page whose cache is *not* told — so its
+            // derived CRC keeps describing the legitimate contents and the
+            // warm-reboot scan flags the damage.
+            self.crc_cache.note_write(
+                page,
+                in_page,
+                (in_page + effective as usize).min(PAGE_SIZE),
+            );
             self.machine.clock.charge_page_op();
 
             // Registry: record the new contents, clear CHANGING.

@@ -12,7 +12,8 @@ use crate::error::{CrashInfo, KernelError, PanicReason};
 use crate::machine::{Machine, MachineConfig};
 use crate::ondisk::{DiskGeometry, Superblock, ROOT_INO};
 use crate::policy::Policy;
-use rio_core::{ProtectionManager, Registry, RioMode, ShadowPool};
+use crate::crc_cache::SectorCrcCache;
+use rio_core::{ProtectionManager, Registry, RegistryEntry, RioMode, ShadowPool};
 use rio_disk::{SimDisk, SimTime};
 use rio_mem::{PageNum, PhysMem};
 use std::collections::HashMap;
@@ -29,6 +30,14 @@ pub struct RioState {
     pub prot: ProtectionManager,
     /// Shadow pages for atomic metadata updates.
     pub shadows: ShadowPool,
+    /// Host-side decoded-entry cache for *file* (non-metadata) pages: the
+    /// authoritative in-kernel descriptor, mirroring how a real kernel keeps
+    /// native buf structs and treats the registry as the crash-surviving
+    /// encoding. Reads skip the 40-byte bus decode; writes go through
+    /// [`Kernel::rio_write_entry`] (write-through) and
+    /// [`Kernel::rio_clear_entry`] (invalidate). Dies with the kernel at a
+    /// crash, like every other host-side structure.
+    pub entry_cache: HashMap<PageNum, RegistryEntry>,
 }
 
 /// Is the system up?
@@ -110,6 +119,8 @@ pub struct Kernel {
     pub(crate) cluster_accum: HashMap<u64, (u64, u64)>,
     /// Next Phoenix-style checkpoint instant, when the policy sets one.
     pub(crate) next_checkpoint: Option<SimTime>,
+    /// Sector checksum cache backing the O(dirty) write fast path.
+    pub(crate) crc_cache: SectorCrcCache,
     pub(crate) stats: KernelStats,
 }
 
@@ -184,6 +195,7 @@ impl Kernel {
                 registry: Registry::new(layout),
                 prot: ProtectionManager::new(mode),
                 shadows: ShadowPool::new(&layout, NUM_SHADOWS),
+                entry_cache: HashMap::new(),
             }
         });
         // Buffer-cache pages: all but the reserved shadow tail.
@@ -219,6 +231,7 @@ impl Kernel {
                 .policy
                 .checkpoint_interval
                 .map(|iv| SimTime::ZERO + iv),
+            crc_cache: SectorCrcCache::new(),
             stats: KernelStats::default(),
         })
     }
@@ -289,16 +302,24 @@ impl Kernel {
         // Metadata.
         for block in self.bufcache.dirty_keys() {
             if let Some(page) = self.bufcache.peek(block) {
-                let data = self.machine.bus.mem().page(page).to_vec();
-                self.machine.disk.submit_write(block, data, now, false);
+                self.machine.disk.submit_write_from(
+                    block,
+                    self.machine.bus.mem().page(page),
+                    now,
+                    false,
+                );
             }
         }
         // File data: only pages with an assigned disk block can be pushed.
         for key in self.ubc.dirty_keys() {
             if let Some(page) = self.ubc.peek(key) {
                 if let Ok(Some(block)) = self.lookup_file_block_quiet(key.0, key.1) {
-                    let data = self.machine.bus.mem().page(page).to_vec();
-                    self.machine.disk.submit_write(block, data, now, false);
+                    self.machine.disk.submit_write_from(
+                        block,
+                        self.machine.bus.mem().page(page),
+                        now,
+                        false,
+                    );
                 }
             }
         }

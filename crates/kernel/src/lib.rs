@@ -30,6 +30,7 @@
 pub mod alloc;
 pub mod cache;
 pub mod clock;
+pub mod crc_cache;
 pub mod data;
 pub mod error;
 pub mod fsck;

@@ -193,7 +193,9 @@ impl Machine {
     }
 
     /// Runs the interpreted `bcopy`, applying the copy-overrun and
-    /// off-by-one fault hooks to the length.
+    /// off-by-one fault hooks to the length. Returns the **effective**
+    /// length the routine was asked to copy (post-hooks), which callers use
+    /// to track exactly which bytes a (possibly faulty) copy touched.
     ///
     /// Addresses may carry the KSEG tag (see [`rio_cpu::kseg_addr`]); the
     /// caller must have opened protection windows for the *intended*
@@ -203,7 +205,7 @@ impl Machine {
     /// # Errors
     ///
     /// [`PanicReason`] when the routine panics (the kernel crashes).
-    pub fn bcopy(&mut self, src: u64, dst: u64, len: u64) -> Result<(), PanicReason> {
+    pub fn bcopy(&mut self, src: u64, dst: u64, len: u64) -> Result<u64, PanicReason> {
         let effective = self.hooks.bcopy_len(len);
         let limit = effective * 8 + 1_000;
         self.pollute_scratch();
@@ -213,7 +215,8 @@ impl Machine {
         let run = self
             .cpu
             .run(&mut self.bus, &self.store, self.routines.bcopy, limit);
-        self.finish(run.outcome, run.steps)
+        self.finish(run.outcome, run.steps)?;
+        Ok(effective)
     }
 
     /// Runs the interpreted `bzero`.

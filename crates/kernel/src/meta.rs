@@ -74,6 +74,12 @@ impl Kernel {
     }
 
     /// Writes a page's registry entry (no-op when Rio is off).
+    ///
+    /// File (non-metadata) entries are written through to the decoded-entry
+    /// cache, so the flag flips in `do_write_locked` never re-decode the
+    /// 40-byte encoding on the next read. Metadata entries are *not* cached:
+    /// the shadow-atomic protocol mutates them through `rio-core` directly,
+    /// and a cached copy would go stale mid-update.
     pub(crate) fn rio_write_entry(
         &mut self,
         page: PageNum,
@@ -90,11 +96,22 @@ impl Kernel {
         let res = rio
             .registry
             .write_entry(&mut self.machine.bus, &mut rio.prot, slot, entry);
+        if res.is_ok() {
+            if entry.flags.contains(EntryFlags::METADATA) {
+                rio.entry_cache.remove(&page);
+            } else {
+                rio.entry_cache.insert(page, *entry);
+            }
+        }
         self.machine.clock.charge_window();
         res.map_err(|f| self.die(PanicReason::Mem(f)))
     }
 
     /// Reads a page's registry entry; a corrupt entry crashes the kernel.
+    ///
+    /// Served from the decoded-entry cache when possible (file pages only;
+    /// see [`Kernel::rio_write_entry`]) — the in-memory encoding is the
+    /// crash-surviving mirror, not the hot-path source of truth.
     pub(crate) fn rio_read_entry(
         &mut self,
         page: PageNum,
@@ -102,11 +119,24 @@ impl Kernel {
         let Some(rio) = self.rio.as_ref() else {
             return Ok(None);
         };
+        if let Some(e) = rio.entry_cache.get(&page) {
+            return Ok(Some(*e));
+        }
         let Some(slot) = rio.registry.slot_for_page(page) else {
             return Ok(None);
         };
         match rio.registry.read_entry(self.machine.bus.mem(), slot) {
-            Ok(e) => Ok(e),
+            Ok(Some(e)) => {
+                if !e.flags.contains(EntryFlags::METADATA) {
+                    self.rio
+                        .as_mut()
+                        .expect("rio checked")
+                        .entry_cache
+                        .insert(page, e);
+                }
+                Ok(Some(e))
+            }
+            Ok(None) => Ok(None),
             Err(_) => Err(self.die(PanicReason::Consistency(
                 "registry: corrupt entry".to_owned(),
             ))),
@@ -115,9 +145,11 @@ impl Kernel {
 
     /// Clears a page's registry entry (eviction, unlink).
     pub(crate) fn rio_clear_entry(&mut self, page: PageNum) -> Result<(), KernelError> {
+        self.crc_cache.invalidate_page(page);
         let Some(rio) = self.rio.as_mut() else {
             return Ok(());
         };
+        rio.entry_cache.remove(&page);
         let Some(slot) = rio.registry.slot_for_page(page) else {
             return Ok(());
         };
@@ -140,9 +172,10 @@ impl Kernel {
             if ev.dirty {
                 // Overflow write-back: allowed even under Rio (§2.3 — disk
                 // writes happen only when the cache overflows).
-                let data = self.machine.bus.mem().page(ev.page).to_vec();
                 let now = self.machine.clock.now();
-                self.machine.disk.submit_write(ev.key, data, now, false);
+                self.machine
+                    .disk
+                    .submit_write_from(ev.key, self.machine.bus.mem().page(ev.page), now, false);
                 self.stats.overflow_writebacks += 1;
             }
             self.rio_clear_entry(ev.page)?;
@@ -150,6 +183,7 @@ impl Kernel {
         if zero_fill {
             if let Some(rio) = self.rio.as_mut() {
                 rio.prot.window_open(&mut self.machine.bus, page);
+                self.machine.clock.charge_window();
             }
             let res = self.machine.bzero(page.base(), PAGE_SIZE as u64);
             if let Some(rio) = self.rio.as_mut() {
@@ -295,32 +329,37 @@ impl Kernel {
         match self.policy.metadata {
             MetadataPolicy::Sync if !critical => {}
             MetadataPolicy::Sync => {
-                let data = self.machine.bus.mem().page(page).to_vec();
                 let now = self.machine.clock.now();
-                let done = self.machine.disk.submit_write(block, data, now, false);
+                let done = self.machine.disk.submit_write_from(
+                    block,
+                    self.machine.bus.mem().page(page),
+                    now,
+                    false,
+                );
                 self.machine.clock.wait_until(done);
                 self.stats.sync_waits += 1;
                 self.bufcache.mark_clean(block);
             }
             MetadataPolicy::Journal => {
-                let data = self.machine.bus.mem().page(page).to_vec();
-                self.journal_append(&data);
+                self.journal_append(page);
             }
             MetadataPolicy::Delayed | MetadataPolicy::Never => {}
         }
         Ok(())
     }
 
-    /// Appends one record to the journal area (asynchronous, sequential —
+    /// Appends one page to the journal area (asynchronous, sequential —
     /// the AdvFS fast path).
-    pub(crate) fn journal_append(&mut self, data: &[u8]) {
+    pub(crate) fn journal_append(&mut self, page: PageNum) {
         if self.geometry.journal_blocks == 0 {
             return;
         }
         let slot = self.geometry.journal_start + self.journal_head % self.geometry.journal_blocks;
         self.journal_head += 1;
         let now = self.machine.clock.now();
-        self.machine.disk.submit_write(slot, data.to_vec(), now, true);
+        self.machine
+            .disk
+            .submit_write_from(slot, self.machine.bus.mem().page(page), now, true);
     }
 
     // ------------------------------------------------------------------

@@ -13,9 +13,13 @@ impl Kernel {
         let (block, _) = self.geometry.inode_location(ino);
         if self.bufcache.is_dirty(block) {
             if let Some(page) = self.bufcache.peek(block) {
-                let data = self.machine.bus.mem().page(page).to_vec();
                 let now = self.machine.clock.now();
-                self.machine.disk.submit_write(block, data, now, false);
+                self.machine.disk.submit_write_from(
+                    block,
+                    self.machine.bus.mem().page(page),
+                    now,
+                    false,
+                );
                 self.bufcache.mark_clean(block);
             }
         }
@@ -44,8 +48,12 @@ impl Kernel {
         let now = self.machine.clock.now();
         for block in self.bufcache.dirty_keys() {
             if let Some(page) = self.bufcache.peek(block) {
-                let data = self.machine.bus.mem().page(page).to_vec();
-                self.machine.disk.submit_write(block, data, now, false);
+                self.machine.disk.submit_write_from(
+                    block,
+                    self.machine.bus.mem().page(page),
+                    now,
+                    false,
+                );
                 self.bufcache.mark_clean(block);
             }
         }
@@ -83,9 +91,13 @@ impl Kernel {
         }
         for block in self.bufcache.dirty_keys().into_iter().take(4) {
             if let Some(page) = self.bufcache.peek(block) {
-                let data = self.machine.bus.mem().page(page).to_vec();
                 let now = self.machine.clock.now();
-                self.machine.disk.submit_write(block, data, now, false);
+                self.machine.disk.submit_write_from(
+                    block,
+                    self.machine.bus.mem().page(page),
+                    now,
+                    false,
+                );
                 self.bufcache.mark_clean(block);
             }
         }
@@ -111,8 +123,10 @@ impl Kernel {
                 continue;
             }
             entry.flags = entry.flags.without(EntryFlags::CHANGING);
-            let valid = (entry.size as usize).min(rio_mem::PAGE_SIZE);
-            entry.crc = rio_mem::crc32(&self.machine.bus.mem().page(page)[..valid]);
+            let valid = (entry.size as usize).min(rio_mem::PAGE_SIZE) as u32;
+            // Sector cache: only the sectors dirtied since the previous
+            // checkpoint are re-hashed — the Phoenix walk is O(dirty) too.
+            entry.crc = self.page_crc_prefix(page, valid);
             self.rio_write_entry(page, &entry)?;
             // Phoenix keeps a duplicate of every modified page: charge the
             // copy (one page op for the walk, one for the duplication).

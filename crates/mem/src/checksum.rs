@@ -3,21 +3,43 @@
 //! §3.2 of the paper maintains "a checksum of each memory block in the file
 //! cache": every legitimate writer updates the checksum, so an unintentional
 //! store leaves the block inconsistent and is detected after the crash. We
-//! implement CRC32 in-repo (table-driven, reflected 0xEDB88320) rather than
-//! pulling a dependency; it is also used to protect registry entries.
+//! implement CRC32 in-repo (reflected 0xEDB88320) rather than pulling a
+//! dependency; it is also used to protect registry entries.
+//!
+//! Two properties make the checksum cheap enough for the write fast path:
+//!
+//! * **Slice-by-8** ([`crc32_update`]): eight 256-entry tables let the inner
+//!   loop fold 8 input bytes per iteration instead of 1, roughly 5–8× faster
+//!   on page-sized buffers than the classic byte-at-a-time loop (kept as
+//!   [`crc32_bytewise`], the reference the property tests compare against).
+//! * **Linearity over GF(2)** ([`crc32_combine`], [`CrcShift`]): the CRC of a
+//!   concatenation can be spliced from the CRCs of the halves with a 32×32
+//!   bit-matrix multiply, zlib-style. The kernel's sector checksum cache uses
+//!   this to derive a page's registry CRC from per-sector CRCs — identical
+//!   values, O(dirty sectors) work per write instead of O(valid bytes).
 
-/// Lazily built 256-entry CRC table.
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built slice-by-8 tables. `TABLES[0]` is the classic CRC table;
+/// `TABLES[k][b]` advances the effect of byte `b` by `k` further zero bytes.
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256u32 {
+            let mut c = i;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             }
-            *entry = c;
+            t[0][i as usize] = c;
+        }
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
     })
@@ -37,13 +59,141 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Streaming form: feed chunks through repeated calls, starting from
 /// `0xFFFF_FFFF` and XOR-finalizing with `0xFFFF_FFFF`.
+///
+/// Folds 8 bytes per iteration (slice-by-8); bit-identical to
+/// [`crc32_bytewise`] on every input.
 pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
-    let t = table();
+    let t = tables();
     let mut c = state;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c
+}
+
+/// The classic byte-at-a-time CRC32 — the reference implementation the
+/// property suites check the slice-by-8 path against.
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let t = tables();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Multiplies the GF(2) matrix `mat` (32 column vectors) by bit-vector `vec`.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0u32;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// `square = mat * mat` over GF(2).
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// The operator advancing a CRC register by one zero *bit*.
+fn odd_matrix() -> [u32; 32] {
+    let mut odd = [0u32; 32];
+    odd[0] = POLY;
+    let mut row = 1u32;
+    for entry in odd.iter_mut().skip(1) {
+        *entry = row;
+        row <<= 1;
+    }
+    odd
+}
+
+/// A precomputed "append `len` bytes" operator: [`CrcShift::apply`] maps
+/// `crc(A)` to the CRC contribution of `A` within `A ∥ B` where `B` is `len`
+/// bytes, so `crc(A ∥ B) = shift.apply(crc(A)) ^ crc(B)`.
+///
+/// Building the operator costs ~`log2(len)` 32×32 matrix squarings; applying
+/// it is 32 AND/XOR steps. Callers that always splice at a fixed granularity
+/// (the kernel's 512-byte sector cache) build it once and reuse it.
+#[derive(Debug, Clone, Copy)]
+pub struct CrcShift {
+    mat: [u32; 32],
+}
+
+impl CrcShift {
+    /// The operator for appending `len` bytes.
+    pub fn for_len(len: u64) -> CrcShift {
+        // Start from the "8 zero bits" operator and square into the binary
+        // expansion of len (zlib's crc32_combine, cached as one matrix).
+        let mut even = [0u32; 32];
+        let mut odd = odd_matrix();
+        gf2_matrix_square(&mut even, &odd); // 2 bits
+        gf2_matrix_square(&mut odd, &even); // 4 bits
+        gf2_matrix_square(&mut even, &odd); // 8 bits = 1 byte
+        // `even` now advances by one zero byte. Exponentiate to `len`.
+        let mut result = identity_matrix();
+        let mut base = even;
+        let mut n = len;
+        while n != 0 {
+            if n & 1 != 0 {
+                let snapshot = result;
+                for (r, row) in result.iter_mut().enumerate() {
+                    *row = gf2_matrix_times(&base, snapshot[r]);
+                }
+            }
+            n >>= 1;
+            if n != 0 {
+                let snapshot = base;
+                gf2_matrix_square(&mut base, &snapshot);
+            }
+        }
+        CrcShift { mat: result }
+    }
+
+    /// Advances a finalized CRC across `len` appended bytes (see type docs).
+    pub fn apply(&self, crc: u32) -> u32 {
+        gf2_matrix_times(&self.mat, crc)
+    }
+}
+
+fn identity_matrix() -> [u32; 32] {
+    let mut m = [0u32; 32];
+    let mut bit = 1u32;
+    for entry in m.iter_mut() {
+        *entry = bit;
+        bit <<= 1;
+    }
+    m
+}
+
+/// Splices two checksums: given `crc_a = crc32(A)` and `crc_b = crc32(B)`,
+/// returns `crc32(A ∥ B)` where `B` is `len_b` bytes — without touching the
+/// data. GF(2) matrix exponentiation, zlib-style.
+pub fn crc32_combine(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    if len_b == 0 {
+        return crc_a;
+    }
+    CrcShift::for_len(len_b).apply(crc_a) ^ crc_b
 }
 
 #[cfg(test)]
@@ -74,5 +224,81 @@ mod tests {
         let before = crc32(&data);
         data[4000] ^= 0x10;
         assert_ne!(crc32(&data), before);
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise() {
+        // All lengths through a few words, so every remainder path runs.
+        let data: Vec<u8> = (0..100u32).map(|i| (i.wrapping_mul(97) >> 2) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), crc32_bytewise(&data[..len]), "len {len}");
+        }
+        let page: Vec<u8> = (0..8192u32).map(|i| (i ^ (i >> 5)) as u8).collect();
+        assert_eq!(crc32(&page), crc32_bytewise(&page));
+    }
+
+    #[test]
+    fn combine_matches_concatenation() {
+        let a = b"the rio file cache survives";
+        let b = b" operating system crashes";
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert_eq!(
+            crc32_combine(crc32(a), crc32(b), b.len() as u64),
+            crc32(&joined)
+        );
+    }
+
+    #[test]
+    fn combine_edge_lengths() {
+        let a = b"prefix";
+        assert_eq!(crc32_combine(crc32(a), crc32(b""), 0), crc32(a));
+        let mut joined = a.to_vec();
+        joined.push(b'!');
+        assert_eq!(crc32_combine(crc32(a), crc32(b"!"), 1), crc32(&joined));
+        // Empty prefix: splicing onto crc("") must yield crc(B).
+        let b = vec![0xEEu8; 513];
+        assert_eq!(crc32_combine(crc32(b""), crc32(&b), 513), crc32(&b));
+    }
+
+    #[test]
+    fn shift_operator_matches_combine_at_fixed_len() {
+        let shift = CrcShift::for_len(512);
+        let a = vec![0x11u8; 300];
+        let b = vec![0x22u8; 512];
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        assert_eq!(shift.apply(crc32(&a)) ^ crc32(&b), crc32(&joined));
+        assert_eq!(
+            crc32_combine(crc32(&a), crc32(&b), 512),
+            crc32(&joined)
+        );
+    }
+
+    #[test]
+    fn sector_fold_reconstructs_page_crc() {
+        // Fold 16 sector CRCs with one fixed shift operator — the kernel's
+        // sector-cache derivation — and compare with the direct page CRC.
+        let page: Vec<u8> = (0..8192u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        let shift = CrcShift::for_len(512);
+        let mut folded = 0u32; // crc32 of the empty prefix
+        for sector in page.chunks(512) {
+            folded = shift.apply(folded) ^ crc32(sector);
+        }
+        assert_eq!(folded, crc32(&page));
+    }
+
+    #[test]
+    fn appending_tail_to_finalized_crc() {
+        // crc(A ∥ B) = update(crc(A) ^ !0, B) ^ !0 — the cheap path for a
+        // partial tail sector, no matrix needed.
+        let a = vec![0x77u8; 1024];
+        let b = vec![0x99u8; 300];
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        assert_eq!(
+            crc32_update(crc32(&a) ^ 0xFFFF_FFFF, &b) ^ 0xFFFF_FFFF,
+            crc32(&joined)
+        );
     }
 }

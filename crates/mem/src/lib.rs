@@ -53,7 +53,7 @@ pub mod phys;
 pub mod prot;
 
 pub use bus::{AccessStats, AddrKind, MemBus, MemFault};
-pub use checksum::crc32;
+pub use checksum::{crc32, crc32_bytewise, crc32_combine, crc32_update, CrcShift};
 pub use layout::{MemConfig, MemLayout, Region};
 pub use page::{PageNum, PAGE_SIZE};
 pub use phys::PhysMem;

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 verification: build, test, and a smoke-scale Table 1 campaign.
-# Everything runs offline — the workspace has no crates.io dependencies.
+# Tier-1 verification: build, lint, test, a smoke-scale Table 1 campaign,
+# and a smoke-scale write-path benchmark. Everything runs offline — the
+# workspace has no crates.io dependencies.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,10 +9,21 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== cargo test -q =="
 cargo test -q
 
 echo "== smoke campaign (RIO_TRIALS=3) =="
 RIO_TRIALS=3 cargo run -q --release -p rio-bench --bin table1
+
+echo "== smoke write benchmark (RIO_BENCH_ITERS=5) =="
+smoke_json="$(mktemp)"
+RIO_BENCH_ITERS=5 RIO_BENCH_WARMUP=1 RIO_BENCH_JSON="$smoke_json" \
+    cargo run -q --release -p rio-bench --bin write_bench
+grep -q '"name": "write/small_overwrite_100b"' "$smoke_json"
+grep -q '"median_ns":' "$smoke_json"
+rm -f "$smoke_json"
 
 echo "verify: OK"

@@ -205,3 +205,65 @@ fn warm_reboot_recovers_arbitrary_files() {
         },
     );
 }
+
+/// The slice-by-8 CRC32 is bit-identical to the bytewise reference on
+/// arbitrary inputs, and streaming through `crc32_update` at any split
+/// point produces the same value as the one-shot call.
+#[test]
+fn slice_by_8_crc_matches_bytewise() {
+    check("slice_by_8_crc_matches_bytewise", Config::default(), |g: &mut Gen| {
+        use rio::mem::{crc32_bytewise, crc32_update};
+        let data = g.bytes(0, 4096);
+        let fast = crc32(&data);
+        pt_assert_eq!(fast, crc32_bytewise(&data));
+        let split = g.in_range(0..data.len() + 1);
+        let streamed =
+            crc32_update(crc32_update(0xFFFF_FFFF, &data[..split]), &data[split..])
+                ^ 0xFFFF_FFFF;
+        pt_assert_eq!(streamed, fast);
+        Ok(())
+    });
+}
+
+/// `crc32_combine` splices two independent checksums into the checksum of
+/// the concatenation, for arbitrary part lengths (including empty parts).
+#[test]
+fn crc32_combine_matches_concatenation() {
+    check("crc32_combine_matches_concatenation", Config::default(), |g: &mut Gen| {
+        use rio::mem::crc32_combine;
+        let a = g.bytes(0, 2048);
+        let b = g.bytes(0, 2048);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let combined = crc32_combine(crc32(&a), crc32(&b), b.len() as u64);
+        pt_assert_eq!(combined, crc32(&joined));
+        Ok(())
+    });
+}
+
+/// The sector checksum cache derives exactly the CRC a direct scan over
+/// the valid prefix computes, across arbitrary sequences of writes (each
+/// reported via `note_write`) and growing/shrinking valid lengths.
+#[test]
+fn sector_crc_cache_matches_direct_crc() {
+    check("sector_crc_cache_matches_direct_crc", Config::default(), |g: &mut Gen| {
+        use rio::kernel::crc_cache::SectorCrcCache;
+        use rio::mem::{MemConfig, PhysMem, PAGE_SIZE};
+        let mut mem = PhysMem::new(MemConfig::small());
+        let page = PageNum::containing(mem.layout().ubc.start);
+        let mut cache = SectorCrcCache::new();
+        let writes: Vec<(usize, usize, u8)> = g.vec(1, 12, |g| {
+            let start = g.in_range(0..PAGE_SIZE);
+            let len = g.in_range(1..=PAGE_SIZE - start);
+            (start, len, g.u8())
+        });
+        for &(start, len, fill) in &writes {
+            mem.fill(page.base() + start as u64, len as u64, fill);
+            cache.note_write(page, start, start + len);
+            let valid = g.in_range(1..=PAGE_SIZE) as u32;
+            let direct = crc32(&mem.page(page)[..valid as usize]);
+            pt_assert_eq!(cache.prefix_crc(&mem, page, valid), direct);
+        }
+        Ok(())
+    });
+}

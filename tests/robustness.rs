@@ -144,3 +144,93 @@ fn random_programs_never_escape_the_interpreter() {
         },
     );
 }
+
+/// Regression for the word-wide `bcopy` fast path: an armed copy overrun
+/// that runs off the open write window must trap on *exactly* the first
+/// byte of the adjacent protected page — identical to the old bytewise
+/// loop — with every legitimate byte before the boundary already written.
+#[test]
+fn wide_bcopy_overrun_traps_on_the_protected_page_base() {
+    use rio::core::RioMode;
+    use rio::kernel::{Cadence, OverrunSpec};
+    use rio::mem::MemFault;
+
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/victim").unwrap();
+    k.write(fd, &vec![0u8; 2 * 8192]).unwrap();
+
+    // Next bcopy copies 64 extra bytes: a 128-byte write ending exactly at
+    // the page boundary overruns into the next (protected) physical page.
+    k.machine.hooks.copy_overrun =
+        Some(OverrunSpec::new(Cadence::every(1), vec![64]));
+    let err = k.pwrite(fd, 8192 - 128, &[0x5Cu8; 128]).unwrap_err();
+    assert!(matches!(err, rio::kernel::KernelError::Panic(_)), "got {err:?}");
+
+    let info = k.crash_info().expect("kernel recorded the crash").clone();
+    let (addr, page) = match info.reason {
+        rio::kernel::PanicReason::Mem(MemFault::ProtectionViolation {
+            addr,
+            page,
+            ..
+        }) => (addr, page),
+        other => panic!("expected a protection trap, got {other:?}"),
+    };
+    // Exact-boundary parity: the fault lands on the protected page's first
+    // byte, not mid-word and not later in the page.
+    assert_eq!(addr, page.base(), "wide path must fault at the page base");
+    let (image, _) = k.into_crash_artifacts();
+    assert!(image.layout().ubc.contains(addr), "trap is inside the UBC");
+    // All-or-nothing stores: the 128 legitimate bytes before the boundary
+    // landed; the protected page saw none of the overrun.
+    assert!(image.slice(addr - 128, 128).iter().all(|&b| b == 0x5C));
+    assert!(image.page(page).iter().all(|&b| b == 0));
+}
+
+/// Regression for the sector checksum cache: a wild store into a sector
+/// the cache was never told about must still be caught by the registry
+/// CRC at warm reboot. (Recomputing the whole page from memory on the
+/// next legitimate write would *absorb* the corruption into the checksum;
+/// the cache derives the CRC from per-sector state instead, so the stale
+/// sector keeps describing the legitimate contents.)
+#[test]
+fn stale_sector_corruption_is_caught_at_warm_reboot() {
+    use rio::core::RioMode;
+    use rio::mem::PageNum;
+
+    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/f").unwrap();
+    k.write(fd, &vec![0x42u8; 8192]).unwrap();
+    assert_eq!(k.machine.disk.stats().writes, 0, "pure in-memory so far");
+
+    // Locate the physical UBC page backing the file page.
+    let ubc = k.machine.bus.layout().ubc;
+    let page = ubc
+        .page_numbers()
+        .find(|&pn| k.machine.bus.mem().page(pn).iter().all(|&b| b == 0x42))
+        .expect("file page resident in the UBC");
+
+    // Wild store: flip one bit in sector 2, bypassing every kernel path —
+    // the checksum cache never hears about it.
+    k.machine.bus.mem_mut().flip_bit(page.base() + 2 * 512 + 77, 3);
+
+    // A legitimate write to a different sector re-derives the registry CRC
+    // from cached sector state; sector 2's entry is stale (legitimate
+    // contents), so the stored CRC cannot match the corrupted memory.
+    k.pwrite(fd, 13 * 512, &[0x7Eu8; 100]).unwrap();
+
+    k.crash_now(PanicReason::Watchdog);
+    let (image, disk) = k.into_crash_artifacts();
+    let corrupted: Vec<u8> = image.page(PageNum::containing(page.base())).to_vec();
+    let (mut k2, report) = Kernel::warm_boot(&config, &image, disk).unwrap();
+    let warm = report.warm.expect("warm reboot ran");
+    assert!(
+        warm.dropped_bad_crc >= 1,
+        "corrupted page must fail its CRC check: {warm:?}"
+    );
+    // The corrupted bytes are never served back to the user.
+    if let Ok(data) = k2.file_contents("/f") {
+        assert_ne!(data, corrupted, "corruption propagated through reboot");
+    }
+}
