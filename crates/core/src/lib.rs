@@ -60,4 +60,7 @@ pub mod warm;
 pub use protection::{ProtectionManager, ProtectionStats, RioMode};
 pub use registry::{EntryFlags, Registry, RegistryEntry, RegistryError, ENTRY_BYTES, REG_MAGIC};
 pub use shadow::ShadowPool;
-pub use warm::{scan_registry, Recovery, RecoveredFilePage, RecoveredMetadata, WarmRebootStats};
+pub use warm::{
+    commit_replayed, commit_restored, scan_registry, Recovery, RecoveredFilePage,
+    RecoveredMetadata, WarmRebootStats,
+};

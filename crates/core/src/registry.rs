@@ -38,6 +38,16 @@ impl EntryFlags {
     /// A shadow copy is active; `offset` holds the shadow page number and
     /// the shadow holds the last consistent contents (§2.3 atomic updates).
     pub const SHADOW: EntryFlags = EntryFlags(1 << 4);
+    /// Recovery progress commit: this metadata entry's block has been
+    /// durably restored to its disk address by a warm-reboot attempt. A
+    /// recovery that re-crashes and resumes skips the block instead of
+    /// re-poking it over any fsck repairs that followed the restore.
+    pub const RESTORED: EntryFlags = EntryFlags(1 << 5);
+    /// Recovery progress commit: this file page has been replayed through
+    /// system calls *and synced to disk* by a warm-reboot attempt. Once
+    /// set, losing or decaying the in-memory copy loses nothing — the
+    /// durable copy is on the platters — so a resumed recovery skips it.
+    pub const REPLAYED: EntryFlags = EntryFlags(1 << 6);
 
     /// Whether all bits of `other` are set in `self`.
     pub fn contains(self, other: EntryFlags) -> bool {

@@ -20,15 +20,15 @@
 //! direct memory corruption becomes visible to the reliability experiments
 //! even though a warm reboot ran.
 
-use crate::registry::{EntryFlags, Registry, RegistryError};
-#[cfg(test)]
-use crate::registry::RegistryEntry;
+use crate::registry::{EntryFlags, Registry, RegistryEntry, RegistryError};
 use rio_disk::SimDisk;
 use rio_mem::{crc32, PageNum, PhysMem, PAGE_SIZE};
 
 /// A dirty file-data page recovered from the image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveredFilePage {
+    /// Registry slot describing this page (progress commits key on it).
+    pub slot: u64,
     /// Device number.
     pub dev: u32,
     /// Inode number.
@@ -37,20 +37,32 @@ pub struct RecoveredFilePage {
     pub offset: u64,
     /// Valid bytes.
     pub size: u32,
-    /// The recovered bytes (`size` of them).
+    /// The recovered bytes (`size` of them); empty when
+    /// `already_replayed` — the durable copy is on disk and the image copy
+    /// is no longer trusted.
     pub data: Vec<u8>,
+    /// A previous recovery attempt already replayed and synced this page
+    /// ([`EntryFlags::REPLAYED`]); the resumed replay skips it.
+    pub already_replayed: bool,
 }
 
 /// A dirty metadata block recovered from the image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveredMetadata {
+    /// Registry slot describing this block (progress commits key on it).
+    pub slot: u64,
     /// Disk block number to restore to.
     pub block: u64,
     /// Full block contents. When the entry had an active shadow, these are
-    /// the shadow's contents — the last *consistent* version (§2.3).
+    /// the shadow's contents — the last *consistent* version (§2.3). Empty
+    /// when `already_restored`.
     pub data: Vec<u8>,
     /// Whether the contents came from a shadow page.
     pub from_shadow: bool,
+    /// A previous recovery attempt already restored this block
+    /// ([`EntryFlags::RESTORED`]); re-poking it would overwrite any fsck
+    /// repairs made since, so the resumed restore skips it.
+    pub already_restored: bool,
 }
 
 /// Scanner accounting.
@@ -75,6 +87,12 @@ pub struct WarmRebootStats {
     pub metadata_recovered: u64,
     /// File pages recovered.
     pub file_pages_recovered: u64,
+    /// Metadata entries recognized as already durably restored by an
+    /// earlier (interrupted) recovery attempt.
+    pub committed_restored: u64,
+    /// File pages recognized as already durably replayed by an earlier
+    /// (interrupted) recovery attempt.
+    pub committed_replayed: u64,
 }
 
 impl WarmRebootStats {
@@ -85,10 +103,19 @@ impl WarmRebootStats {
             + self.dropped_inconsistent
             + self.dropped_bad_crc
     }
+
+    /// Entries quarantined as *corrupt* (bad magic, inconsistent mapping,
+    /// or checksum mismatch) rather than merely unidentifiable
+    /// (`CHANGING`). This is the scanner's detection channel for direct
+    /// corruption and for outage-window memory decay: the damage is
+    /// counted and the entry dropped, never silently restored.
+    pub fn quarantined(&self) -> u64 {
+        self.dropped_bad_magic + self.dropped_inconsistent + self.dropped_bad_crc
+    }
 }
 
 /// Everything the warm reboot recovered from one memory image.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Recovery {
     /// Metadata blocks to restore before fsck.
     pub metadata: Vec<RecoveredMetadata>,
@@ -124,6 +151,40 @@ pub fn scan_registry(image: &PhysMem) -> Recovery {
             out.stats.clean_skipped += 1;
             continue;
         }
+        // Progress commits from an earlier, interrupted recovery attempt:
+        // the entry's payload is already durable on disk, so the image
+        // copy no longer matters (it may even have decayed in the outage
+        // window since it was applied). Record the entry so the resumed
+        // pipeline keeps its ordering, but carry no data and skip the
+        // content checks.
+        if entry.flags.contains(EntryFlags::METADATA)
+            && entry.flags.contains(EntryFlags::RESTORED)
+        {
+            out.stats.committed_restored += 1;
+            out.metadata.push(RecoveredMetadata {
+                slot,
+                block: entry.ino,
+                data: Vec::new(),
+                from_shadow: entry.flags.contains(EntryFlags::SHADOW),
+                already_restored: true,
+            });
+            continue;
+        }
+        if !entry.flags.contains(EntryFlags::METADATA)
+            && entry.flags.contains(EntryFlags::REPLAYED)
+        {
+            out.stats.committed_replayed += 1;
+            out.file_pages.push(RecoveredFilePage {
+                slot,
+                dev: entry.dev,
+                ino: entry.ino,
+                offset: entry.offset,
+                size: entry.size,
+                data: Vec::new(),
+                already_replayed: true,
+            });
+            continue;
+        }
         if entry.flags.contains(EntryFlags::CHANGING) {
             out.stats.dropped_changing += 1;
             continue;
@@ -157,22 +218,56 @@ pub fn scan_registry(image: &PhysMem) -> Recovery {
         if is_meta {
             out.stats.metadata_recovered += 1;
             out.metadata.push(RecoveredMetadata {
+                slot,
                 block: entry.ino,
                 data: page.to_vec(),
                 from_shadow: entry.flags.contains(EntryFlags::SHADOW),
+                already_restored: false,
             });
         } else {
             out.stats.file_pages_recovered += 1;
             out.file_pages.push(RecoveredFilePage {
+                slot,
                 dev: entry.dev,
                 ino: entry.ino,
                 offset: entry.offset,
                 size: entry.size,
                 data: page[..size].to_vec(),
+                already_replayed: false,
             });
         }
     }
     out
+}
+
+/// Commits recovery progress into the preserved image: sets `flag` on
+/// slot's registry entry. Runs before the file system initializes, when no
+/// protection is installed, so it writes the DRAM cells directly — exactly
+/// like the boot-time dump analysis the paper describes.
+///
+/// A slot that no longer decodes (decayed magic) is left alone; the scan
+/// will quarantine it.
+fn commit_flag(image: &mut PhysMem, registry: &Registry, slot: u64, flag: EntryFlags) {
+    let addr = registry.entry_addr(slot);
+    if let Ok(Some(mut entry)) =
+        RegistryEntry::decode(image.slice(addr, crate::registry::ENTRY_BYTES))
+    {
+        entry.flags = entry.flags.with(flag);
+        image.write_bytes(addr, &entry.encode());
+    }
+}
+
+/// Marks a metadata entry as durably restored ([`EntryFlags::RESTORED`]).
+/// Call only *after* the block write reached the platters.
+pub fn commit_restored(image: &mut PhysMem, registry: &Registry, slot: u64) {
+    commit_flag(image, registry, slot, EntryFlags::RESTORED);
+}
+
+/// Marks a file page as durably replayed ([`EntryFlags::REPLAYED`]). Call
+/// only *after* the replayed write has been flushed and the disk queue
+/// drained.
+pub fn commit_replayed(image: &mut PhysMem, registry: &Registry, slot: u64) {
+    commit_flag(image, registry, slot, EntryFlags::REPLAYED);
 }
 
 /// Restores recovered metadata blocks to the disk (the pre-fsck step of
@@ -181,7 +276,7 @@ pub fn scan_registry(image: &PhysMem) -> Recovery {
 /// Runs on a healthy booting system, so writes are not timed.
 pub fn restore_metadata(recovery: &Recovery, disk: &mut SimDisk) {
     for m in &recovery.metadata {
-        if m.block < disk.num_blocks() {
+        if !m.already_restored && m.block < disk.num_blocks() {
             disk.poke(m.block, &m.data);
         }
     }
@@ -411,6 +506,89 @@ mod tests {
         registry.write_entry(&mut bus, &mut prot, 2, &e).unwrap();
         let rec = scan_registry(&bus.into_image());
         assert_eq!(rec.stats.dropped_inconsistent, 1);
+    }
+
+    #[test]
+    fn committed_replayed_page_is_skipped_even_when_decayed() {
+        let (mut bus, registry, mut prot) = bus_with_registry();
+        let slot = registry
+            .slot_for_page(PageNum::containing(bus.layout().ubc.start))
+            .unwrap();
+        write_page_and_entry(
+            &mut bus,
+            &registry,
+            &mut prot,
+            slot,
+            EntryFlags::VALID | EntryFlags::DIRTY,
+            42,
+            0xCD,
+            1000,
+        );
+        let mut image = bus.into_image();
+        commit_replayed(&mut image, &registry, slot);
+        // Outage-window decay of the page after the durable replay: must
+        // NOT be quarantined — the flag says the disk already holds it.
+        let page = registry.page_for_slot(slot);
+        image.flip_bit(page.base() + 10, 3);
+        let rec = scan_registry(&image);
+        assert_eq!(rec.stats.committed_replayed, 1);
+        assert_eq!(rec.stats.dropped_bad_crc, 0);
+        assert_eq!(rec.stats.file_pages_recovered, 0);
+        assert!(rec.file_pages[0].already_replayed);
+        assert!(rec.file_pages[0].data.is_empty());
+    }
+
+    #[test]
+    fn committed_restored_metadata_is_not_repoked() {
+        let (mut bus, registry, mut prot) = bus_with_registry();
+        write_page_and_entry(
+            &mut bus,
+            &registry,
+            &mut prot,
+            1,
+            EntryFlags::VALID | EntryFlags::DIRTY | EntryFlags::METADATA,
+            6,
+            0xB7,
+            PAGE_SIZE as u32,
+        );
+        let mut image = bus.into_image();
+        commit_restored(&mut image, &registry, 1);
+        let rec = scan_registry(&image);
+        assert_eq!(rec.stats.committed_restored, 1);
+        assert_eq!(rec.stats.metadata_recovered, 0);
+        // restore_metadata must leave the (say, fsck-repaired) disk block
+        // alone.
+        let mut disk = SimDisk::new(16, rio_disk::DiskModel::instant());
+        disk.poke(6, &[0x11u8; PAGE_SIZE]);
+        restore_metadata(&rec, &mut disk);
+        assert!(disk.peek(6).iter().all(|&b| b == 0x11));
+    }
+
+    #[test]
+    fn commit_flag_survives_rescan_and_is_idempotent() {
+        let (mut bus, registry, mut prot) = bus_with_registry();
+        let slot = registry
+            .slot_for_page(PageNum::containing(bus.layout().ubc.start))
+            .unwrap();
+        write_page_and_entry(
+            &mut bus,
+            &registry,
+            &mut prot,
+            slot,
+            EntryFlags::VALID | EntryFlags::DIRTY,
+            9,
+            5,
+            64,
+        );
+        let mut image = bus.into_image();
+        commit_replayed(&mut image, &registry, slot);
+        commit_replayed(&mut image, &registry, slot);
+        let a = scan_registry(&image);
+        let b = scan_registry(&image);
+        assert_eq!(a.file_pages, b.file_pages);
+        assert_eq!(a.metadata, b.metadata);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.stats.committed_replayed, 1);
     }
 
     #[test]

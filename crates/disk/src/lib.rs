@@ -30,5 +30,5 @@ pub mod sim;
 pub mod time;
 
 pub use model::{DiskModel, Positioning};
-pub use sim::{DiskStats, SimDisk, BLOCK_SIZE};
+pub use sim::{DiskFault, DiskIoError, DiskStats, SimDisk, BLOCK_SIZE};
 pub use time::SimTime;

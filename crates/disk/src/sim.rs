@@ -3,7 +3,42 @@
 
 use crate::model::{DiskModel, Positioning};
 use crate::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+
+/// An injected per-block I/O fault (recovery-path fault model).
+///
+/// Real drives fail in two broad ways during a post-crash restore: a
+/// marginal sector that succeeds on retry, and a dead one that never will.
+/// Faults are consumed deterministically — a `Transient(n)` fails exactly
+/// `n` accesses and then clears — so campaigns that clone the disk replay
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Fails the next `n` accesses, then succeeds forever.
+    Transient(u32),
+    /// Fails every access.
+    Permanent,
+}
+
+/// Why a fallible block access failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskIoError {
+    /// A retry may succeed.
+    Transient,
+    /// No retry will ever succeed.
+    Permanent,
+}
+
+impl std::fmt::Display for DiskIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskIoError::Transient => f.write_str("transient I/O error"),
+            DiskIoError::Permanent => f.write_str("permanent I/O error"),
+        }
+    }
+}
+
+impl std::error::Error for DiskIoError {}
 
 /// Disk block size in bytes — one 8 KB page, matching the file cache.
 pub const BLOCK_SIZE: usize = 8192;
@@ -56,6 +91,9 @@ pub struct SimDisk {
     busy_until: SimTime,
     /// Block number of the last request (sequential detection).
     last_block: Option<u64>,
+    /// Injected faults for the fallible (recovery-path) accessors.
+    read_faults: BTreeMap<u64, DiskFault>,
+    write_faults: BTreeMap<u64, DiskFault>,
     stats: DiskStats,
 }
 
@@ -70,6 +108,8 @@ impl SimDisk {
             free: Vec::new(),
             busy_until: SimTime::ZERO,
             last_block: None,
+            read_faults: BTreeMap::new(),
+            write_faults: BTreeMap::new(),
             stats: DiskStats::default(),
         }
     }
@@ -268,6 +308,85 @@ impl SimDisk {
         self.blocks[block as usize].copy_from_slice(data);
         self.torn[block as usize] = false;
     }
+
+    /// A [`SimDisk::poke`] interrupted halfway: the first half of `data`
+    /// lands, the second half keeps the old contents, and the block is
+    /// flagged torn — the crash model for losing power mid-restore.
+    pub fn poke_torn(&mut self, block: u64, data: &[u8]) {
+        assert_eq!(data.len(), BLOCK_SIZE);
+        let half = BLOCK_SIZE / 2;
+        self.blocks[block as usize][..half].copy_from_slice(&data[..half]);
+        self.torn[block as usize] = true;
+        self.stats.blocks_torn_at_crash += 1;
+    }
+
+    /// A [`SimDisk::poke_torn`] that respects the write-fault table: a
+    /// crash interrupting a write to an unwritable block changes nothing,
+    /// so no tear is recorded either.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskIoError`] per the injected fault (the block is untouched).
+    pub fn try_poke_torn(&mut self, block: u64, data: &[u8]) -> Result<(), DiskIoError> {
+        Self::consume_fault(&mut self.write_faults, block)?;
+        self.poke_torn(block, data);
+        Ok(())
+    }
+
+    /// Injects a fault on the fallible *read* path ([`SimDisk::try_peek`]).
+    /// The timed request-queue path is unaffected: the fault model targets
+    /// the recovery/fsck accessors, which is where per-block degradation
+    /// must be survivable.
+    pub fn inject_read_fault(&mut self, block: u64, fault: DiskFault) {
+        self.read_faults.insert(block, fault);
+    }
+
+    /// Injects a fault on the fallible *write* path ([`SimDisk::try_poke`]).
+    pub fn inject_write_fault(&mut self, block: u64, fault: DiskFault) {
+        self.write_faults.insert(block, fault);
+    }
+
+    /// Consumes one access against a fault table entry.
+    fn consume_fault(
+        faults: &mut BTreeMap<u64, DiskFault>,
+        block: u64,
+    ) -> Result<(), DiskIoError> {
+        match faults.get_mut(&block) {
+            None => Ok(()),
+            Some(DiskFault::Permanent) => Err(DiskIoError::Permanent),
+            Some(DiskFault::Transient(n)) => {
+                if *n <= 1 {
+                    faults.remove(&block);
+                } else {
+                    *n -= 1;
+                }
+                Err(DiskIoError::Transient)
+            }
+        }
+    }
+
+    /// Fallible [`SimDisk::peek`]: consults the injected read-fault table.
+    /// A `Transient(n)` fault fails `n` calls and then reads clean.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskIoError`] per the injected fault.
+    pub fn try_peek(&mut self, block: u64) -> Result<&[u8], DiskIoError> {
+        Self::consume_fault(&mut self.read_faults, block)?;
+        Ok(self.peek(block))
+    }
+
+    /// Fallible [`SimDisk::poke`]: consults the injected write-fault table.
+    /// On error the block is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskIoError`] per the injected fault.
+    pub fn try_poke(&mut self, block: u64, data: &[u8]) -> Result<(), DiskIoError> {
+        Self::consume_fault(&mut self.write_faults, block)?;
+        self.poke(block, data);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +432,51 @@ mod tests {
         let (data, read_done) = d.read(5, SimTime::ZERO, false);
         assert_eq!(data, block_of(1));
         assert!(read_done > done, "read queued behind the write");
+    }
+
+    #[test]
+    fn transient_fault_fails_n_times_then_clears() {
+        let mut d = disk();
+        d.poke(3, &block_of(0x33));
+        d.inject_read_fault(3, DiskFault::Transient(2));
+        assert_eq!(d.try_peek(3).unwrap_err(), DiskIoError::Transient);
+        assert_eq!(d.try_peek(3).unwrap_err(), DiskIoError::Transient);
+        assert_eq!(d.try_peek(3).unwrap(), block_of(0x33).as_slice());
+        // Fault consumed entirely: later reads stay clean.
+        assert!(d.try_peek(3).is_ok());
+    }
+
+    #[test]
+    fn permanent_fault_never_clears_and_blocks_writes() {
+        let mut d = disk();
+        d.poke(4, &block_of(0x44));
+        d.inject_write_fault(4, DiskFault::Permanent);
+        for _ in 0..8 {
+            assert_eq!(
+                d.try_poke(4, &block_of(0x55)).unwrap_err(),
+                DiskIoError::Permanent
+            );
+        }
+        // The failed writes never touched the block.
+        assert_eq!(d.peek(4), block_of(0x44).as_slice());
+        // Reads are independent of the write-fault table.
+        assert!(d.try_peek(4).is_ok());
+    }
+
+    #[test]
+    fn poke_torn_leaves_half_old_half_new_and_flags_torn() {
+        let mut d = disk();
+        d.poke(7, &block_of(0xAA));
+        d.poke_torn(7, &block_of(0xBB));
+        let half = BLOCK_SIZE / 2;
+        let data = d.peek(7);
+        assert!(data[..half].iter().all(|&b| b == 0xBB));
+        assert!(data[half..].iter().all(|&b| b == 0xAA));
+        assert!(d.is_torn(7));
+        assert_eq!(d.stats().blocks_torn_at_crash, 1);
+        // A clean full rewrite clears the torn flag again.
+        d.poke(7, &block_of(0xCC));
+        assert!(!d.is_torn(7));
     }
 
     #[test]

@@ -22,7 +22,8 @@ use rio_kernel::{Kernel, KernelConfig, KernelError, Policy};
 use rio_workloads::{MemTest, MemTestConfig};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// The three systems of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +103,11 @@ pub enum TrialOutcome {
         message: String,
         /// memTest ops completed before the crash.
         ops_before_crash: u64,
+        /// Torn data blocks fsck saw at reboot.
+        torn_data_blocks: u64,
+        /// Registry entries the warm-reboot scan quarantined (bad magic /
+        /// inconsistent mapping / CRC mismatch).
+        quarantined: u64,
     },
 }
 
@@ -120,6 +126,11 @@ pub struct CellResult {
     pub discarded: u64,
     /// Crashes where protection trapped the store.
     pub protection_traps: u64,
+    /// Torn data blocks fsck saw across the cell's reboots.
+    pub torn_data_blocks: u64,
+    /// Registry entries quarantined by the warm-reboot scan across the
+    /// cell's reboots.
+    pub quarantined: u64,
     /// Distinct crash messages seen.
     pub messages: BTreeSet<String>,
 }
@@ -133,6 +144,8 @@ impl CellResult {
             corruptions: 0,
             discarded: 0,
             protection_traps: 0,
+            torn_data_blocks: 0,
+            quarantined: 0,
             messages: BTreeSet::new(),
         }
     }
@@ -145,6 +158,8 @@ impl CellResult {
                 corrupted,
                 protection_trap,
                 message,
+                torn_data_blocks,
+                quarantined,
                 ..
             } => {
                 self.crashes += 1;
@@ -154,6 +169,8 @@ impl CellResult {
                 if protection_trap {
                     self.protection_traps += 1;
                 }
+                self.torn_data_blocks += torn_data_blocks;
+                self.quarantined += quarantined;
                 self.messages.insert(message);
             }
         }
@@ -194,6 +211,24 @@ impl CampaignResult {
             .iter()
             .filter(|c| c.system == system)
             .map(|c| c.protection_traps)
+            .sum()
+    }
+
+    /// Total torn data blocks fsck saw for a system's reboots.
+    pub fn total_torn(&self, system: SystemKind) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| c.system == system)
+            .map(|c| c.torn_data_blocks)
+            .sum()
+    }
+
+    /// Total registry entries quarantined by a system's warm-reboot scans.
+    pub fn total_quarantined(&self, system: SystemKind) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| c.system == system)
+            .map(|c| c.quarantined)
             .sum()
     }
 
@@ -314,9 +349,9 @@ pub fn run_trial(
     // Reboot and examine, exactly as §3.2 prescribes: replay memTest to the
     // crash point and compare.
     let (image, disk) = k.into_crash_artifacts();
-    let (mut k2, checksum_detected) = match system {
+    let (mut k2, checksum_detected, torn_data_blocks, quarantined) = match system {
         SystemKind::DiskBased => match Kernel::cold_boot(&config, disk) {
-            Ok((k2, _report)) => (k2, false),
+            Ok((k2, report)) => (k2, false, report.fsck.torn_data_blocks, 0),
             Err(_) => {
                 // Unmountable: total loss.
                 return TrialOutcome::Crashed {
@@ -326,13 +361,21 @@ pub fn run_trial(
                     protection_trap,
                     message,
                     ops_before_crash: ops,
+                    torn_data_blocks: 0,
+                    quarantined: 0,
                 };
             }
         },
         _ => match Kernel::warm_boot(&config, &image, disk) {
             Ok((k2, report)) => {
                 let warm = report.warm.expect("warm boot stats");
-                (k2, warm.dropped_bad_crc > 0)
+                let quarantined = warm.quarantined();
+                (
+                    k2,
+                    warm.dropped_bad_crc > 0,
+                    report.fsck.torn_data_blocks,
+                    quarantined,
+                )
             }
             Err(_) => {
                 return TrialOutcome::Crashed {
@@ -342,6 +385,8 @@ pub fn run_trial(
                     protection_trap,
                     message,
                     ops_before_crash: ops,
+                    torn_data_blocks: 0,
+                    quarantined: 0,
                 };
             }
         },
@@ -359,6 +404,8 @@ pub fn run_trial(
                 protection_trap,
                 message,
                 ops_before_crash: ops,
+                torn_data_blocks,
+                quarantined,
             };
         }
     };
@@ -371,7 +418,50 @@ pub fn run_trial(
         protection_trap,
         message,
         ops_before_crash: ops,
+        torn_data_blocks,
+        quarantined,
     }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_owned())
+}
+
+/// [`run_trial`] with a firewall: a trial that panics (a harness bug, not
+/// a simulated crash) is recorded as a corrupted crashed run instead of
+/// unwinding into the worker pool and poisoning the campaign mutex.
+pub fn run_trial_caught(
+    system: SystemKind,
+    fault: FaultType,
+    seed: u64,
+    warmup_ops: u64,
+    watchdog_ops: u64,
+) -> TrialOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_trial(system, fault, seed, warmup_ops, watchdog_ops)
+    }))
+    .unwrap_or_else(|payload| TrialOutcome::Crashed {
+        corrupted: true,
+        damage: usize::MAX,
+        checksum_detected: false,
+        protection_trap: false,
+        message: format!("harness panic: {}", panic_message(payload.as_ref())),
+        ops_before_crash: 0,
+        torn_data_blocks: 0,
+        quarantined: 0,
+    })
+}
+
+/// Locks a mutex, tolerating poison: per-trial state is only written under
+/// short critical sections that cannot be left half-updated, so a poisoned
+/// lock (a worker died outside the trial firewall) is still usable.
+pub(crate) fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The Table 1 grid, in row-major (fault, system) order.
@@ -410,7 +500,13 @@ fn run_cell(cfg: &CampaignConfig, fault: FaultType, system: SystemKind) -> CellR
     while cell.crashes < cfg.trials_per_cell && attempt < cfg.max_attempts() {
         let seed = trial_seed(cfg.seed, fault, system, attempt);
         attempt += 1;
-        cell.absorb(run_trial(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops));
+        cell.absorb(run_trial_caught(
+            system,
+            fault,
+            seed,
+            cfg.warmup_ops,
+            cfg.watchdog_ops,
+        ));
     }
     cell
 }
@@ -554,7 +650,7 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let task = {
-                    let mut s = state.lock().expect("no poison");
+                    let mut s = lock_tolerant(&state);
                     loop {
                         if s.all_done() {
                             break None;
@@ -563,7 +659,11 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
                             Some(t) => break Some(t),
                             // Every issueable trial is in flight; sleep
                             // until a completion moves a merge frontier.
-                            None => s = wake.wait(s).expect("no poison"),
+                            None => {
+                                s = wake
+                                    .wait(s)
+                                    .unwrap_or_else(PoisonError::into_inner);
+                            }
                         }
                     }
                 };
@@ -572,12 +672,13 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
                     break;
                 };
                 let (fault, system) = {
-                    let s = state.lock().expect("no poison");
+                    let s = lock_tolerant(&state);
                     (s.cells[idx].fault, s.cells[idx].system)
                 };
                 let seed = trial_seed(cfg.seed, fault, system, attempt);
-                let outcome = run_trial(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops);
-                let mut s = state.lock().expect("no poison");
+                let outcome =
+                    run_trial_caught(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops);
+                let mut s = lock_tolerant(&state);
                 s.complete(idx, attempt, outcome, cfg);
                 drop(s);
                 wake.notify_all();
@@ -586,7 +687,7 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
     });
     state
         .into_inner()
-        .expect("no poison")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_result(cfg)
 }
 

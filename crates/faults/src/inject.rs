@@ -271,6 +271,22 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
     }
 }
 
+/// Outage-window memory decay: flips `flips` bits in the preserved image's
+/// file-cache regions (buffer cache and UBC pages) — DRAM cells rotting
+/// between the crash and the warm reboot. The registry's per-page CRC must
+/// quarantine every decayed page rather than silently restore it; decay in
+/// the registry itself is caught by the magic/consistency checks.
+pub fn decay_image(image: &mut rio_mem::PhysMem, rng: &mut DetRng, flips: u64) {
+    let layout = *image.layout();
+    let regions = [layout.buffer_cache, layout.ubc];
+    for _ in 0..flips {
+        let which: u64 = rng.gen_range(0..2);
+        let r = regions[which as usize];
+        let addr = rng.gen_range(r.start..r.end);
+        image.flip_bit(addr, rng.gen_range(0..8));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,10 +19,17 @@
 
 pub mod campaign;
 pub mod inject;
+pub mod recovery;
 pub mod trace;
 
-pub use campaign::{run_campaign_parallel, 
-    run_campaign, run_trial, CampaignConfig, CampaignResult, CellResult, SystemKind, TrialOutcome,
+pub use campaign::{run_campaign_parallel,
+    run_campaign, run_trial, run_trial_caught, CampaignConfig, CampaignResult, CellResult,
+    SystemKind, TrialOutcome,
 };
-pub use inject::{inject, FaultType};
+pub use inject::{decay_image, inject, FaultType};
+pub use recovery::{
+    recovery_trial_seed, run_recovery_campaign, run_recovery_campaign_parallel,
+    run_recovery_trial, run_recovery_trial_caught, RecoveryCampaignConfig,
+    RecoveryCampaignResult, RecoveryCellResult, RecoveryScenario, RecoveryTrialOutcome,
+};
 pub use trace::{run_traced_trial, summarize, DetectionChannel, PropagationSummary, TrialTrace};

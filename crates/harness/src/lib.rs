@@ -10,15 +10,20 @@
 //! * [`overhead`] — the protection-overhead micro-study backing "Rio's
 //!   protection mechanism adds essentially no overhead", including the
 //!   code-patching ablation (§2.1's 20–50% band).
+//! * [`recovery`] — the warm-reboot re-crash campaign: interrupted-and-
+//!   resumed recovery must converge byte-for-byte with single-shot
+//!   recovery under memory decay and injected disk I/O faults.
 //! * [`ascii`] — plain-text table rendering shared by the report binaries.
 
 pub mod ascii;
 pub mod overhead;
 pub mod propagation;
+pub mod recovery;
 pub mod table1;
 pub mod table2;
 
 pub use overhead::{run_overhead_study, OverheadReport};
 pub use propagation::{render_propagation, run_propagation, PropagationRow};
+pub use recovery::{render_recovery, run_recovery, RecoveryReport};
 pub use table1::{render_table1, run_table1, MttfEstimate, Table1Report};
 pub use table2::{render_table2, run_table2, Table2Report, Table2Row};

@@ -144,6 +144,19 @@ pub fn render_table1(report: &Table1Report) -> String {
         "Unique crash messages across the campaign: {}\n",
         report.unique_messages
     ));
+    out.push_str(&format!(
+        "Torn data blocks repaired by fsck at reboot: {} disk-based, \
+         {} Rio without protection, {} Rio with protection\n",
+        c.total_torn(SystemKind::ALL[0]),
+        c.total_torn(SystemKind::ALL[1]),
+        c.total_torn(SystemKind::ALL[2]),
+    ));
+    out.push_str(&format!(
+        "Registry entries quarantined by the warm-reboot scan: \
+         {} Rio without protection, {} Rio with protection\n",
+        c.total_quarantined(SystemKind::ALL[1]),
+        c.total_quarantined(SystemKind::ALL[2]),
+    ));
     out
 }
 

@@ -291,7 +291,9 @@ impl Kernel {
         // Metadata: size and mtime (ordering-noncritical, as in FFS).
         let new_size = inode.size.max(offset + data.len() as u64);
         inode.size = new_size;
-        inode.mtime = self.machine.clock.now().as_micros();
+        if !self.preserve_mtime_on_write {
+            inode.mtime = self.machine.clock.now().as_micros();
+        }
         self.write_inode_async(ino, &inode)?;
 
         // Data policy.

@@ -25,6 +25,9 @@ pub enum PanicReason {
     Lock(String),
     /// The in-kernel watchdog fired (runaway loop in a data path).
     Watchdog,
+    /// A second crash hit while the warm reboot itself was running (the
+    /// recovery campaign's re-crash injector).
+    SecondCrash,
 }
 
 impl PanicReason {
@@ -59,6 +62,7 @@ impl PanicReason {
             PanicReason::Consistency(s) => format!("panic: {s}"),
             PanicReason::Lock(s) => format!("lock assertion: {s}"),
             PanicReason::Watchdog => "watchdog: kernel loop timeout".to_owned(),
+            PanicReason::SecondCrash => "panic: crashed during recovery".to_owned(),
         }
     }
 }

@@ -11,7 +11,11 @@ use crate::ondisk::{
     DirEntry, DiskGeometry, FileType, Inode, Superblock, DIRENTS_PER_BLOCK, DIRENT_BYTES,
     INODES_PER_BLOCK, INODE_BYTES, NDIRECT, NINDIRECT,
 };
-use rio_disk::{SimDisk, BLOCK_SIZE};
+use rio_disk::{DiskIoError, SimDisk, BLOCK_SIZE};
+
+/// Bounded retry budget for one block access: a transient fault injected
+/// with up to `IO_RETRY_LIMIT - 1` failures always clears within it.
+pub(crate) const IO_RETRY_LIMIT: u32 = 4;
 
 /// What fsck found and fixed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,6 +29,16 @@ pub struct FsckReport {
     pub dirents_removed: u64,
     /// Torn data blocks observed (left in place; contents are suspect).
     pub torn_data_blocks: u64,
+    /// Transient read errors absorbed by retrying.
+    pub read_retries: u64,
+    /// Transient write errors absorbed by retrying.
+    pub write_retries: u64,
+    /// Blocks that stayed unreadable after the retry budget: treated as
+    /// empty and skipped, never fatal (graceful per-block degradation).
+    pub blocks_unreadable: u64,
+    /// Blocks whose repair could not be written back after retries: the
+    /// old contents stand, counted but never fatal.
+    pub blocks_unwritable: u64,
     /// Whether the bitmap needed rebuilding.
     pub bitmap_rebuilt: bool,
 }
@@ -45,21 +59,54 @@ impl std::fmt::Display for FsckError {
 
 impl std::error::Error for FsckError {}
 
+/// Reads `block` through the fallible path with bounded retry. `None`
+/// means the block is unreadable even after retries; the caller treats it
+/// as empty and continues — a dead block degrades that block, not the boot.
+fn read_block(disk: &mut SimDisk, block: u64, report: &mut FsckReport) -> Option<Vec<u8>> {
+    for _ in 0..IO_RETRY_LIMIT {
+        match disk.try_peek(block) {
+            Ok(data) => return Some(data.to_vec()),
+            Err(DiskIoError::Transient) => report.read_retries += 1,
+            Err(DiskIoError::Permanent) => break,
+        }
+    }
+    report.blocks_unreadable += 1;
+    None
+}
+
+/// Writes `block` through the fallible path with bounded retry. On final
+/// failure the repair is abandoned for this block (old contents stand).
+fn write_block(disk: &mut SimDisk, block: u64, data: &[u8], report: &mut FsckReport) {
+    for _ in 0..IO_RETRY_LIMIT {
+        match disk.try_poke(block, data) {
+            Ok(()) => return,
+            Err(DiskIoError::Transient) => report.write_retries += 1,
+            Err(DiskIoError::Permanent) => break,
+        }
+    }
+    report.blocks_unwritable += 1;
+}
+
 /// Checks and repairs the file system on `disk`.
 ///
 /// # Errors
 ///
 /// [`FsckError::BadSuperblock`] when block 0 is unusable.
 pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
-    let sb = Superblock::decode(disk.peek(0)).ok_or(FsckError::BadSuperblock)?;
-    let g = sb.geometry;
     let mut report = FsckReport::default();
+    let sb_bytes = read_block(disk, 0, &mut report).ok_or(FsckError::BadSuperblock)?;
+    let sb = Superblock::decode(&sb_bytes).ok_or(FsckError::BadSuperblock)?;
+    let g = sb.geometry;
 
     // Pass 1: inode records.
     let mut live_inodes: Vec<u64> = Vec::new();
     for iblock in g.inode_start..g.inode_start + g.inode_len {
         let torn = disk.is_torn(iblock);
-        let mut data = disk.peek(iblock).to_vec();
+        let Some(mut data) = read_block(disk, iblock, &mut report) else {
+            // Unreadable inode block: every inode in it is lost. The rest
+            // of the volume still gets checked.
+            continue;
+        };
         let mut changed = false;
         for slot in 0..INODES_PER_BLOCK as usize {
             let off = slot * INODE_BYTES;
@@ -106,7 +153,7 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
             }
         }
         if changed || torn {
-            disk.poke(iblock, &data);
+            write_block(disk, iblock, &data, &mut report);
         }
     }
 
@@ -116,8 +163,10 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
     let mut dir_inos: Vec<u64> = Vec::new();
     for &ino in &live_inodes {
         let (blk, off) = g.inode_location(ino);
-        let rec = &disk.peek(blk)[off..off + INODE_BYTES];
-        if let Ok(Some(inode)) = Inode::decode(rec) {
+        let Some(iblock) = read_block(disk, blk, &mut report) else {
+            continue;
+        };
+        if let Ok(Some(inode)) = Inode::decode(&iblock[off..off + INODE_BYTES]) {
             if inode.itype == FileType::Dir {
                 dir_inos.push(ino);
             }
@@ -125,8 +174,10 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
     }
     for &dino in &dir_inos {
         let (blk, off) = g.inode_location(dino);
-        let rec = &disk.peek(blk)[off..off + INODE_BYTES].to_vec();
-        let Ok(Some(dir)) = Inode::decode(rec) else {
+        let Some(iblock) = read_block(disk, blk, &mut report) else {
+            continue;
+        };
+        let Ok(Some(dir)) = Inode::decode(&iblock[off..off + INODE_BYTES]) else {
             continue;
         };
         let nblocks = dir.size.div_ceil(BLOCK_SIZE as u64).min(NDIRECT as u64);
@@ -135,7 +186,9 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
             if db == 0 {
                 continue;
             }
-            let mut data = disk.peek(db).to_vec();
+            let Some(mut data) = read_block(disk, db, &mut report) else {
+                continue;
+            };
             let mut changed = false;
             for slot in 0..DIRENTS_PER_BLOCK {
                 let eoff = slot * DIRENT_BYTES;
@@ -148,7 +201,7 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
                 }
             }
             if changed {
-                disk.poke(db, &data);
+                write_block(disk, db, &data, &mut report);
             }
         }
     }
@@ -166,8 +219,10 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
     }
     for &ino in &live_inodes {
         let (blk, off) = g.inode_location(ino);
-        let rec = &disk.peek(blk)[off..off + INODE_BYTES];
-        let Ok(Some(inode)) = Inode::decode(rec) else {
+        let Some(iblock) = read_block(disk, blk, &mut report) else {
+            continue;
+        };
+        let Ok(Some(inode)) = Inode::decode(&iblock[off..off + INODE_BYTES]) else {
             continue;
         };
         for &d in &inode.direct {
@@ -180,7 +235,11 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
         }
         if inode.indirect != 0 {
             mark(inode.indirect, &mut bitmap);
-            let idata = disk.peek(inode.indirect).to_vec();
+            // An unreadable indirect block loses its children from the
+            // bitmap (they leak back to free); the scan keeps going.
+            let Some(idata) = read_block(disk, inode.indirect, &mut report) else {
+                continue;
+            };
             for i in 0..NINDIRECT {
                 let v = u64::from_le_bytes(idata[i * 8..i * 8 + 8].try_into().expect("8"));
                 if v >= g.data_start && v < g.num_blocks {
@@ -191,9 +250,10 @@ pub fn repair(disk: &mut SimDisk) -> Result<FsckReport, FsckError> {
     }
     for (i, chunk) in bitmap.chunks(BLOCK_SIZE).enumerate() {
         let blk = g.bitmap_start + i as u64;
-        if disk.peek(blk) != chunk {
+        let current = read_block(disk, blk, &mut report);
+        if current.as_deref() != Some(chunk) {
             report.bitmap_rebuilt = true;
-            disk.poke(blk, chunk);
+            write_block(disk, blk, chunk, &mut report);
         }
     }
     Ok(report)

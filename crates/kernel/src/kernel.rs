@@ -121,6 +121,11 @@ pub struct Kernel {
     pub(crate) next_checkpoint: Option<SimTime>,
     /// Sector checksum cache backing the O(dirty) write fast path.
     pub(crate) crc_cache: SectorCrcCache,
+    /// Warm-reboot replay runs with this set: writes keep the inode's
+    /// recovered mtime instead of stamping the replay clock, so an
+    /// interrupted-and-resumed recovery converges to the same on-disk
+    /// bytes as an uninterrupted one.
+    pub(crate) preserve_mtime_on_write: bool,
     pub(crate) stats: KernelStats,
 }
 
@@ -232,6 +237,7 @@ impl Kernel {
                 .checkpoint_interval
                 .map(|iv| SimTime::ZERO + iv),
             crc_cache: SectorCrcCache::new(),
+            preserve_mtime_on_write: false,
             stats: KernelStats::default(),
         })
     }

@@ -54,5 +54,8 @@ pub use kernel::{Fd, Kernel, KernelConfig, KernelStats, RioState, SysState};
 pub use machine::{Machine, MachineConfig};
 pub use ondisk::{DiskGeometry, FileType};
 pub use policy::{DataPolicy, MetadataPolicy, Policy};
-pub use recovery::BootReport;
+pub use recovery::{
+    BootInterrupted, BootReport, NoRecoveryFaults, RecoveryControl, RecoveryIoStats,
+    RecoveryPoint, WarmBootError,
+};
 pub use syscalls::Stat;

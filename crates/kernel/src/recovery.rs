@@ -6,14 +6,102 @@
 //! system is intact before being checked for consistency by fsck". Then
 //! fsck runs, the file system mounts, and a user-level process replays the
 //! recovered file pages through normal system calls.
+//!
+//! # Restartable recovery
+//!
+//! The pipeline is *resumable*: its progress is committed back into the
+//! preserved image through per-entry registry flags
+//! ([`rio_core::EntryFlags::RESTORED`] / [`rio_core::EntryFlags::REPLAYED`]),
+//! each set only once the corresponding bytes are durably on disk. A crash
+//! *during* recovery — modelled by a [`RecoveryControl`] that declines to
+//! continue at a [`RecoveryPoint`] — therefore loses no recoverable data:
+//! the next attempt rescans the same image, skips committed entries
+//! (re-poking a restored metadata block would undo fsck repairs; the image
+//! copy of a committed page is no longer trusted against outage-window
+//! decay), and finishes the rest. Uncommitted work is simply redone, and
+//! every step is idempotent, so any number of interrupted attempts
+//! converges to the same on-disk bytes as one uninterrupted run.
+//!
+//! Disk I/O on the restore and fsck paths is fallible with bounded retry:
+//! a transient error is retried, a permanently dead block is counted
+//! ([`RecoveryIoStats`], [`FsckReport`]) and skipped — per-block
+//! degradation, never a failed boot.
 
-use crate::error::KernelError;
-use crate::fsck::{self, FsckReport};
+use crate::error::{KernelError, PanicReason};
+use crate::fsck::{self, FsckReport, IO_RETRY_LIMIT};
 use crate::kernel::{Kernel, KernelConfig};
 use crate::machine::Machine;
 use rio_core::warm::{self, WarmRebootStats};
-use rio_disk::SimDisk;
+use rio_core::Registry;
+use rio_disk::{DiskIoError, SimDisk};
 use rio_mem::PhysMem;
+
+/// A checkpoint in the warm-reboot pipeline where a second crash can land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPoint {
+    /// Registry scan finished; nothing applied to disk yet.
+    AfterScan,
+    /// About to restore metadata entry `index` to disk block `block`. A
+    /// crash here interrupts the write mid-block: the block tears.
+    BeforeMetadataBlock {
+        /// Position in the restore order.
+        index: u64,
+        /// Target disk block.
+        block: u64,
+    },
+    /// Metadata entry `index` is durably restored and committed.
+    AfterMetadataBlock {
+        /// Position in the restore order.
+        index: u64,
+    },
+    /// fsck completed; about to mount.
+    AfterFsck,
+    /// Replay write `index` issued but not yet flushed or committed — a
+    /// crash here loses only the recovery kernel's memory; the preserved
+    /// image still owns the page.
+    AfterReplayWrite {
+        /// Position in the replay order.
+        index: u64,
+    },
+    /// Replay page `index` flushed, drained, and committed `REPLAYED`.
+    AfterReplayPage {
+        /// Position in the replay order.
+        index: u64,
+    },
+}
+
+/// Decides, at each [`RecoveryPoint`], whether the recovery survives to
+/// the next step. The fault campaign's second-crash injector implements
+/// this; a plain boot uses [`NoRecoveryFaults`].
+pub trait RecoveryControl {
+    /// Returns `false` to crash the recovery at `point`.
+    fn reached(&mut self, point: RecoveryPoint) -> bool;
+}
+
+/// The control that never interrupts: an ordinary single-shot warm boot.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoRecoveryFaults;
+
+impl RecoveryControl for NoRecoveryFaults {
+    fn reached(&mut self, _point: RecoveryPoint) -> bool {
+        true
+    }
+}
+
+/// Fallible-I/O accounting for the metadata-restore phase (fsck keeps its
+/// own counters in [`FsckReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryIoStats {
+    /// Transient write errors absorbed by retrying during restore.
+    pub restore_write_retries: u64,
+    /// Metadata blocks that stayed unwritable after the retry budget: the
+    /// restore for that block is lost (fsck sees the stale block), the
+    /// boot continues.
+    pub restore_blocks_unwritable: u64,
+    /// Recovered metadata entries naming a block outside the disk
+    /// (quarantined by range, not written).
+    pub restore_blocks_skipped: u64,
+}
 
 /// Everything a reboot reports.
 #[derive(Debug, Clone, Default)]
@@ -24,13 +112,69 @@ pub struct BootReport {
     pub fsck: FsckReport,
     /// File pages successfully replayed.
     pub pages_replayed: u64,
-    /// File pages whose inode no longer exists (dropped).
+    /// File pages that could not be replayed (inode gone, volume full,
+    /// …): counted and skipped, never fatal.
     pub pages_unreplayable: u64,
+    /// Restore-phase I/O degradation counters.
+    pub io: RecoveryIoStats,
+}
+
+/// What survives a crash *during* recovery: the disk as the second crash
+/// left it, plus where the pipeline died. The caller re-runs
+/// [`Kernel::warm_boot_resumable`] with the same (progress-committed)
+/// image and this disk.
+#[derive(Debug)]
+pub struct BootInterrupted {
+    /// The disk at the moment of the second crash (a restore interrupted
+    /// mid-write leaves its target block torn).
+    pub disk: SimDisk,
+    /// Where the recovery died.
+    pub point: RecoveryPoint,
+}
+
+/// Warm-boot outcome when the recovery itself can crash.
+#[derive(Debug)]
+pub enum WarmBootError {
+    /// The injected second crash hit; recovery can be re-run.
+    Interrupted(Box<BootInterrupted>),
+    /// The volume is unmountable or the recovery kernel died for real —
+    /// the campaign counts it as total loss.
+    Fatal(KernelError),
+}
+
+impl std::fmt::Display for WarmBootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarmBootError::Interrupted(i) => {
+                write!(f, "recovery interrupted at {:?}", i.point)
+            }
+            WarmBootError::Fatal(e) => write!(f, "warm boot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WarmBootError {}
+
+fn interrupted(disk: SimDisk, point: RecoveryPoint) -> WarmBootError {
+    WarmBootError::Interrupted(Box::new(BootInterrupted { disk, point }))
+}
+
+/// Crashes the recovery kernel mid-replay and salvages its disk.
+fn second_crash(mut kernel: Kernel, point: RecoveryPoint) -> WarmBootError {
+    kernel.crash_now(PanicReason::SecondCrash);
+    // The recovery kernel's own memory image is not preserved by this
+    // model: un-flushed replay writes die with it, which is safe because
+    // their pages were never committed REPLAYED in the original image.
+    let (_lost_image, disk) = kernel.into_crash_artifacts();
+    interrupted(disk, point)
 }
 
 impl Kernel {
     /// Warm boot (§2.2): scan the preserved image, restore metadata, fsck,
     /// mount, replay file data.
+    ///
+    /// Single-shot convenience over [`Kernel::warm_boot_resumable`]; the
+    /// image is cloned so progress commits stay private.
     ///
     /// # Errors
     ///
@@ -39,34 +183,147 @@ impl Kernel {
     pub fn warm_boot(
         config: &KernelConfig,
         image: &PhysMem,
-        mut disk: SimDisk,
+        disk: SimDisk,
     ) -> Result<(Kernel, BootReport), KernelError> {
-        // Step 1: dump analysis + metadata restore (pre-fsck).
-        let recovery = warm::scan_registry(image);
-        warm::restore_metadata(&recovery, &mut disk);
+        let mut image = image.clone();
+        match Self::warm_boot_resumable(config, &mut image, disk, &mut NoRecoveryFaults) {
+            Ok(ok) => Ok(ok),
+            Err(WarmBootError::Fatal(e)) => Err(e),
+            Err(WarmBootError::Interrupted(_)) => {
+                unreachable!("NoRecoveryFaults never interrupts")
+            }
+        }
+    }
 
-        // Step 2: fsck + mount on a fresh machine.
-        let fsck_report = fsck::repair(&mut disk).map_err(|_| KernelError::BadSuperblock)?;
+    /// The restartable warm reboot. Progress is committed into `image`
+    /// (per-entry `RESTORED`/`REPLAYED` registry flags) as each piece of
+    /// recovered data becomes durable, so when `ctl` crashes the pipeline
+    /// the caller can call this again with the same image and the returned
+    /// disk, and the resumed run completes exactly what is left.
+    ///
+    /// # Errors
+    ///
+    /// [`WarmBootError::Interrupted`] when `ctl` injects a second crash;
+    /// [`WarmBootError::Fatal`] when the volume cannot be mounted.
+    pub fn warm_boot_resumable(
+        config: &KernelConfig,
+        image: &mut PhysMem,
+        mut disk: SimDisk,
+        ctl: &mut dyn RecoveryControl,
+    ) -> Result<(Kernel, BootReport), WarmBootError> {
+        let registry = Registry::new(*image.layout());
+
+        // Phase 1: dump analysis. Pure read of the image; decayed or
+        // corrupt entries are quarantined by magic/mapping/CRC checks.
+        let recovery = warm::scan_registry(image);
+        if !ctl.reached(RecoveryPoint::AfterScan) {
+            return Err(interrupted(disk, RecoveryPoint::AfterScan));
+        }
+
+        // Phase 2: metadata restore (pre-fsck), one entry at a time,
+        // committing RESTORED only once the block write succeeded.
+        let mut io = RecoveryIoStats::default();
+        for (i, m) in recovery.metadata.iter().enumerate() {
+            if m.already_restored {
+                continue;
+            }
+            let index = i as u64;
+            if m.block >= disk.num_blocks() {
+                io.restore_blocks_skipped += 1;
+                continue;
+            }
+            let point = RecoveryPoint::BeforeMetadataBlock {
+                index,
+                block: m.block,
+            };
+            if !ctl.reached(point) {
+                // Crash mid-write: half the sectors land — unless the
+                // block is unwritable, in which case nothing does.
+                let _ = disk.try_poke_torn(m.block, &m.data);
+                return Err(interrupted(disk, point));
+            }
+            let mut written = false;
+            for _ in 0..IO_RETRY_LIMIT {
+                match disk.try_poke(m.block, &m.data) {
+                    Ok(()) => {
+                        written = true;
+                        break;
+                    }
+                    Err(DiskIoError::Transient) => io.restore_write_retries += 1,
+                    Err(DiskIoError::Permanent) => break,
+                }
+            }
+            if written {
+                warm::commit_restored(image, &registry, m.slot);
+            } else {
+                // Dead target block: this restore is lost (fsck will see
+                // the stale contents), the boot is not.
+                io.restore_blocks_unwritable += 1;
+            }
+            let point = RecoveryPoint::AfterMetadataBlock { index };
+            if !ctl.reached(point) {
+                return Err(interrupted(disk, point));
+            }
+        }
+
+        // Phase 3: fsck + mount on a fresh machine.
+        let fsck_report =
+            fsck::repair(&mut disk).map_err(|_| WarmBootError::Fatal(KernelError::BadSuperblock))?;
+        if !ctl.reached(RecoveryPoint::AfterFsck) {
+            return Err(interrupted(disk, RecoveryPoint::AfterFsck));
+        }
         let mut machine = Machine::new(&config.machine);
         machine.disk = disk;
-        let mut kernel = Kernel::mount(machine, config)?;
+        let mut kernel = Kernel::mount(machine, config).map_err(WarmBootError::Fatal)?;
 
-        // Step 3: user-level replay of recovered file pages through normal
-        // system calls.
+        // Phase 4: user-level replay of recovered file pages through
+        // normal system calls. Replayed writes keep the recovered mtime so
+        // interrupted and uninterrupted recoveries produce identical disk
+        // bytes; each page is flushed (queue drained) before its REPLAYED
+        // commit, making the commit point exactly the durability point.
+        kernel.preserve_mtime_on_write = true;
         let mut report = BootReport {
             warm: Some(recovery.stats),
             fsck: fsck_report,
+            io,
             ..BootReport::default()
         };
         let mut pages = recovery.file_pages;
         pages.sort_by_key(|p| (p.ino, p.offset));
-        for p in &pages {
+        for (i, p) in pages.iter().enumerate() {
+            if p.already_replayed {
+                continue;
+            }
+            let index = i as u64;
             match kernel.pwrite_ino(p.ino, p.offset, &p.data) {
-                Ok(()) => report.pages_replayed += 1,
-                Err(KernelError::NotFound) => report.pages_unreplayable += 1,
-                Err(e) => return Err(e),
+                Ok(()) => {}
+                Err(e @ (KernelError::Crashed | KernelError::Panic(_))) => {
+                    // The recovery kernel itself died: nothing further can
+                    // be replayed through it.
+                    return Err(WarmBootError::Fatal(e));
+                }
+                Err(_) => {
+                    // Inode gone, volume full, file too big, …: the page
+                    // is unreplayable, the boot goes on.
+                    report.pages_unreplayable += 1;
+                    continue;
+                }
+            }
+            let point = RecoveryPoint::AfterReplayWrite { index };
+            if !ctl.reached(point) {
+                return Err(second_crash(kernel, point));
+            }
+            kernel
+                .flush_everything(true)
+                .map_err(WarmBootError::Fatal)?;
+            warm::commit_replayed(image, &registry, p.slot);
+            report.pages_replayed += 1;
+            let point = RecoveryPoint::AfterReplayPage { index };
+            if !ctl.reached(point) {
+                return Err(second_crash(kernel, point));
             }
         }
+        kernel.preserve_mtime_on_write = false;
         Ok((kernel, report))
     }
 

@@ -18,6 +18,15 @@ cargo test -q
 echo "== smoke campaign (RIO_TRIALS=3) =="
 RIO_TRIALS=3 cargo run -q --release -p rio-bench --bin table1
 
+echo "== smoke recovery re-crash campaign (RIO_TRIALS=1) =="
+rec_a="$(mktemp)"
+rec_b="$(mktemp)"
+RIO_TRIALS=1 RIO_THREADS=1 cargo run -q --release -p rio-bench --bin recovery > "$rec_a"
+RIO_TRIALS=1 RIO_THREADS=4 cargo run -q --release -p rio-bench --bin recovery > "$rec_b"
+cmp "$rec_a" "$rec_b"
+grep -q 'every interrupted recovery converged' "$rec_a"
+rm -f "$rec_a" "$rec_b"
+
 echo "== smoke write benchmark (RIO_BENCH_ITERS=5) =="
 smoke_json="$(mktemp)"
 RIO_BENCH_ITERS=5 RIO_BENCH_WARMUP=1 RIO_BENCH_JSON="$smoke_json" \

@@ -4,8 +4,8 @@
 //! worker thread or eight. This is what makes `RIO_THREADS` a pure
 //! speed knob rather than an experiment parameter.
 
-use rio::faults::CampaignConfig;
-use rio::harness::{render_table1, run_table1};
+use rio::faults::{CampaignConfig, RecoveryCampaignConfig};
+use rio::harness::{render_recovery, render_table1, run_recovery, run_table1};
 
 fn quick_config(seed: u64) -> CampaignConfig {
     CampaignConfig {
@@ -48,4 +48,39 @@ fn table1_is_identical_across_thread_counts() {
         render_table1(&other),
         "campaign seed must actually steer the experiment"
     );
+}
+
+#[test]
+fn recovery_table_is_identical_across_thread_counts() {
+    let cfg = RecoveryCampaignConfig {
+        trials_per_cell: 2,
+        warmup_ops: 25,
+        max_depth: 2,
+        ..RecoveryCampaignConfig::quick(0x5EC0_2026)
+    };
+    let serial = run_recovery(&cfg, 1);
+    let wide = run_recovery(&cfg, 8);
+
+    assert_eq!(serial.campaign.cells.len(), wide.campaign.cells.len());
+    for (a, b) in serial.campaign.cells.iter().zip(wide.campaign.cells.iter()) {
+        assert_eq!((a.scenario, a.depth), (b.scenario, b.depth), "cell order diverged");
+        assert_eq!(
+            (a.converged, a.diverged, a.fatal_losses, a.interrupts),
+            (b.converged, b.diverged, b.fatal_losses, b.interrupts),
+            "cell {}/{} diverged between 1 and 8 threads",
+            a.scenario,
+            a.depth,
+        );
+        assert_eq!(
+            (a.quarantined, a.torn, a.retries, a.degraded, a.committed_skips, a.replayed),
+            (b.quarantined, b.torn, b.retries, b.degraded, b.committed_skips, b.replayed),
+        );
+    }
+
+    // What lands in results_recovery.txt must be byte-identical too.
+    assert_eq!(render_recovery(&serial), render_recovery(&wide));
+
+    // The acceptance criterion itself: no interrupted recovery may diverge
+    // from its single-shot twin, even at this quick scale.
+    assert_eq!(serial.campaign.total_diverged(), 0);
 }
