@@ -14,6 +14,12 @@
 //!   full crash trial per system. Reports median/p95 over warmup + N
 //!   timed iterations. Knobs: `RIO_BENCH_ITERS`, `RIO_BENCH_WARMUP`,
 //!   `RIO_BENCH_FILTER`.
+//! * `explain` — crash forensics: replays one campaign trial
+//!   (`--fault <slug> --system <slug> --attempt <n>`) with event tracing
+//!   enabled and renders the causal timeline from injection to the first
+//!   corrupted byte. Writes `BENCH_obs.json` (`RIO_OBS_JSON` overrides).
+//! * `propagation` / `recovery` / `write_bench` / `inspect` — see each
+//!   binary's module docs.
 
 pub mod runner;
 

@@ -226,6 +226,9 @@ impl SimDisk {
         self.stats.writes += 1;
         self.stats.bytes_written += BLOCK_SIZE as u64;
         self.pending.push_back(PendingWrite { block, data, start, end });
+        if rio_obs::is_enabled() {
+            rio_obs::histogram_record("disk.queue_depth", self.pending.len() as u64);
+        }
         end
     }
 
@@ -353,13 +356,27 @@ impl SimDisk {
     ) -> Result<(), DiskIoError> {
         match faults.get_mut(&block) {
             None => Ok(()),
-            Some(DiskFault::Permanent) => Err(DiskIoError::Permanent),
+            Some(DiskFault::Permanent) => {
+                rio_obs::emit(
+                    rio_obs::EventCategory::DiskDegrade,
+                    rio_obs::Payload::Block { block, aux: 0 },
+                );
+                Err(DiskIoError::Permanent)
+            }
             Some(DiskFault::Transient(n)) => {
+                let remaining = u64::from(*n);
                 if *n <= 1 {
                     faults.remove(&block);
                 } else {
                     *n -= 1;
                 }
+                rio_obs::emit(
+                    rio_obs::EventCategory::DiskRetry,
+                    rio_obs::Payload::Block {
+                        block,
+                        aux: remaining,
+                    },
+                );
                 Err(DiskIoError::Transient)
             }
         }

@@ -53,6 +53,20 @@ impl SystemKind {
         }
     }
 
+    /// Stable machine-readable name (CLI arguments, JSON keys).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            SystemKind::DiskBased => "disk",
+            SystemKind::RioWithoutProtection => "rio_noprot",
+            SystemKind::RioWithProtection => "rio_prot",
+        }
+    }
+
+    /// Parses a [`SystemKind::slug`] back to the system kind.
+    pub fn from_slug(s: &str) -> Option<SystemKind> {
+        SystemKind::ALL.iter().copied().find(|k| k.slug() == s)
+    }
+
     /// The kernel policy this system runs.
     pub fn policy(&self) -> Policy {
         match self {
@@ -442,19 +456,43 @@ pub fn run_trial_caught(
     warmup_ops: u64,
     watchdog_ops: u64,
 ) -> TrialOutcome {
-    catch_unwind(AssertUnwindSafe(|| {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
         run_trial(system, fault, seed, warmup_ops, watchdog_ops)
     }))
-    .unwrap_or_else(|payload| TrialOutcome::Crashed {
-        corrupted: true,
-        damage: usize::MAX,
-        checksum_detected: false,
-        protection_trap: false,
-        message: format!("harness panic: {}", panic_message(payload.as_ref())),
-        ops_before_crash: 0,
-        torn_data_blocks: 0,
-        quarantined: 0,
-    })
+    .unwrap_or_else(|payload| {
+        // Surface the swallowed panic text to any open trace session as
+        // well as to the outcome message, so the Table 1 footer's
+        // unique-crash-messages count and a forensic trace agree.
+        let text = format!("harness panic: {}", panic_message(payload.as_ref()));
+        if rio_obs::is_enabled() {
+            rio_obs::note(rio_obs::EventCategory::TrialPanic, text.clone());
+        }
+        TrialOutcome::Crashed {
+            corrupted: true,
+            damage: usize::MAX,
+            checksum_detected: false,
+            protection_trap: false,
+            message: text,
+            ops_before_crash: 0,
+            torn_data_blocks: 0,
+            quarantined: 0,
+        }
+    });
+    if rio_obs::is_enabled() {
+        // Verdict provenance: 0 = no crash, 1 = wedged, 2 = crashed clean,
+        // 3 = crashed corrupted.
+        let code = match &outcome {
+            TrialOutcome::NoCrash => 0,
+            TrialOutcome::Wedged => 1,
+            TrialOutcome::Crashed { corrupted: false, .. } => 2,
+            TrialOutcome::Crashed { corrupted: true, .. } => 3,
+        };
+        rio_obs::emit(
+            rio_obs::EventCategory::TrialVerdict,
+            rio_obs::Payload::Count { value: code },
+        );
+    }
+    outcome
 }
 
 /// Locks a mutex, tolerating poison: per-trial state is only written under
@@ -694,6 +732,14 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn system_slugs_round_trip() {
+        for s in SystemKind::ALL {
+            assert_eq!(SystemKind::from_slug(s.slug()), Some(s));
+        }
+        assert_eq!(SystemKind::from_slug("floppy"), None);
+    }
 
     #[test]
     fn copy_overrun_trial_crashes_and_examines() {

@@ -72,6 +72,30 @@ impl FaultType {
             FaultType::Synchronization => "synchronization",
         }
     }
+
+    /// Stable machine-readable name (CLI arguments, JSON keys).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultType::KernelText => "kernel_text",
+            FaultType::KernelHeap => "kernel_heap",
+            FaultType::KernelStack => "kernel_stack",
+            FaultType::DestinationReg => "destination_reg",
+            FaultType::SourceReg => "source_reg",
+            FaultType::DeleteBranch => "delete_branch",
+            FaultType::DeleteRandomInst => "delete_random_inst",
+            FaultType::Initialization => "initialization",
+            FaultType::Pointer => "pointer",
+            FaultType::Allocation => "allocation",
+            FaultType::CopyOverrun => "copy_overrun",
+            FaultType::OffByOne => "off_by_one",
+            FaultType::Synchronization => "synchronization",
+        }
+    }
+
+    /// Parses a [`FaultType::slug`] back to the fault type.
+    pub fn from_slug(s: &str) -> Option<FaultType> {
+        FaultType::ALL.iter().copied().find(|f| f.slug() == s)
+    }
 }
 
 impl std::fmt::Display for FaultType {
@@ -94,6 +118,14 @@ pub fn overrun_length(rng: &mut DetRng) -> u64 {
         rng.gen_range(2..=1024)
     } else {
         rng.gen_range(2048..=4096)
+    }
+}
+
+/// Traces one planted fault instance (no-op unless a trace session is
+/// open on this thread).
+fn trace_fault(payload: rio_obs::Payload) {
+    if rio_obs::is_enabled() {
+        rio_obs::emit(rio_obs::EventCategory::FaultInjected, payload);
     }
 }
 
@@ -129,21 +161,36 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
             let base = k.machine.store.text_base();
             for _ in 0..FAULTS_PER_RUN {
                 let addr = base + rng.gen_range(0..bytes);
-                k.machine.bus.mem_mut().flip_bit(addr, rng.gen_range(0..8));
+                let bit = rng.gen_range(0..8);
+                k.machine.bus.mem_mut().flip_bit(addr, bit);
+                trace_fault(rio_obs::Payload::Addr {
+                    addr,
+                    aux: bit as u64,
+                });
             }
         }
         FaultType::KernelHeap => {
             let region = k.machine.bus.layout().heap;
             for _ in 0..FAULTS_PER_RUN {
                 let addr = rng.gen_range(region.start..region.end);
-                k.machine.bus.mem_mut().flip_bit(addr, rng.gen_range(0..8));
+                let bit = rng.gen_range(0..8);
+                k.machine.bus.mem_mut().flip_bit(addr, bit);
+                trace_fault(rio_obs::Payload::Addr {
+                    addr,
+                    aux: bit as u64,
+                });
             }
         }
         FaultType::KernelStack => {
             let region = k.machine.bus.layout().stack;
             for _ in 0..FAULTS_PER_RUN {
                 let addr = rng.gen_range(region.start..region.end);
-                k.machine.bus.mem_mut().flip_bit(addr, rng.gen_range(0..8));
+                let bit = rng.gen_range(0..8);
+                k.machine.bus.mem_mut().flip_bit(addr, bit);
+                trace_fault(rio_obs::Payload::Addr {
+                    addr,
+                    aux: bit as u64,
+                });
             }
         }
         FaultType::DestinationReg => {
@@ -157,6 +204,7 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                     },
                     rng,
                 );
+                trace_fault(rio_obs::Payload::Count { value: idx });
             }
         }
         FaultType::SourceReg => {
@@ -174,6 +222,7 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                     },
                     rng,
                 );
+                trace_fault(rio_obs::Payload::Count { value: idx });
             }
         }
         FaultType::DeleteBranch => {
@@ -193,6 +242,7 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                 }
                 let idx = branches[rng.gen_range(0..branches.len())];
                 store.patch_instr(k.machine.bus.mem_mut(), idx, Instr::nop());
+                trace_fault(rio_obs::Payload::Count { value: idx });
             }
         }
         FaultType::DeleteRandomInst => {
@@ -200,6 +250,7 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
             for _ in 0..FAULTS_PER_RUN {
                 let idx = random_instr_index(k, rng);
                 store.patch_instr(k.machine.bus.mem_mut(), idx, Instr::nop());
+                trace_fault(rio_obs::Payload::Count { value: idx });
             }
         }
         FaultType::Initialization => {
@@ -211,6 +262,9 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                 let h = routines[rng.gen_range(0..routines.len())];
                 let off = rng.gen_range(0..2.min(h.len));
                 store.patch_instr(k.machine.bus.mem_mut(), h.first_index + off, Instr::nop());
+                trace_fault(rio_obs::Payload::Count {
+                    value: h.first_index + off,
+                });
             }
         }
         FaultType::Pointer => {
@@ -238,6 +292,7 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                             );
                         if writes_base {
                             store.patch_instr(k.machine.bus.mem_mut(), j, Instr::nop());
+                            trace_fault(rio_obs::Payload::Count { value: j });
                             break;
                         }
                     }
@@ -247,14 +302,15 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
         FaultType::Allocation => {
             // "every 1000-4000 times malloc is called" — scaled to our
             // workload's allocation volume.
-            k.machine.hooks.alloc_premature_free = Some(Cadence::every(rng.gen_range(30..120)));
+            let every = rng.gen_range(30..120);
+            k.machine.hooks.alloc_premature_free = Some(Cadence::every(every));
+            trace_fault(rio_obs::Payload::Count { value: every });
         }
         FaultType::CopyOverrun => {
             let lengths: Vec<u64> = (0..8).map(|_| overrun_length(rng)).collect();
-            k.machine.hooks.copy_overrun = Some(OverrunSpec::new(
-                Cadence::every(rng.gen_range(60..240)),
-                lengths,
-            ));
+            let every = rng.gen_range(60..240);
+            k.machine.hooks.copy_overrun = Some(OverrunSpec::new(Cadence::every(every), lengths));
+            trace_fault(rio_obs::Payload::Count { value: every });
         }
         FaultType::OffByOne => {
             let dir = if rng.gen_bool(0.5) {
@@ -262,11 +318,14 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
             } else {
                 OffByOne::OneLess
             };
-            k.machine.hooks.off_by_one =
-                Some((dir, Cadence::every(rng.gen_range(150..500))));
+            let every = rng.gen_range(150..500);
+            k.machine.hooks.off_by_one = Some((dir, Cadence::every(every)));
+            trace_fault(rio_obs::Payload::Count { value: every });
         }
         FaultType::Synchronization => {
-            k.machine.hooks.lock_skip = Some(Cadence::every(rng.gen_range(30..120)));
+            let every = rng.gen_range(30..120);
+            k.machine.hooks.lock_skip = Some(Cadence::every(every));
+            trace_fault(rio_obs::Payload::Count { value: every });
         }
     }
 }
@@ -303,6 +362,14 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), 13);
+    }
+
+    #[test]
+    fn slugs_round_trip() {
+        for f in FaultType::ALL {
+            assert_eq!(FaultType::from_slug(f.slug()), Some(f));
+        }
+        assert_eq!(FaultType::from_slug("bogus"), None);
     }
 
     #[test]

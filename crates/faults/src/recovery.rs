@@ -490,7 +490,13 @@ pub fn run_recovery_trial_caught(
         run_recovery_trial(scenario, depth, seed, warmup_ops)
     }))
     .unwrap_or_else(|payload| {
-        let _ = panic_message(payload.as_ref());
+        // Do not swallow the panic text: surface it to any open trace
+        // session so a forensic replay of the trial can report *why* the
+        // harness died, not just that it did.
+        let text = format!("harness panic: {}", panic_message(payload.as_ref()));
+        if rio_obs::is_enabled() {
+            rio_obs::note(rio_obs::EventCategory::TrialPanic, text);
+        }
         RecoveryTrialOutcome::panic_outcome()
     })
 }

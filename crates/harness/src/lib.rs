@@ -13,15 +13,21 @@
 //! * [`recovery`] — the warm-reboot re-crash campaign: interrupted-and-
 //!   resumed recovery must converge byte-for-byte with single-shot
 //!   recovery under memory decay and injected disk I/O faults.
+//! * [`explain`] — crash forensics: replay one campaign trial by its
+//!   `(seed, fault, system, attempt)` coordinate with [`rio_obs`] tracing
+//!   enabled and render a causal timeline from injection to the first
+//!   corrupted byte (or the protection trap that prevented one).
 //! * [`ascii`] — plain-text table rendering shared by the report binaries.
 
 pub mod ascii;
+pub mod explain;
 pub mod overhead;
 pub mod propagation;
 pub mod recovery;
 pub mod table1;
 pub mod table2;
 
+pub use explain::{explain_json, explain_trial, render_timeline, ExplainConfig, ExplainReport};
 pub use overhead::{run_overhead_study, OverheadReport};
 pub use propagation::{render_propagation, run_propagation, PropagationRow};
 pub use recovery::{render_recovery, run_recovery, RecoveryReport};

@@ -135,6 +135,17 @@ impl Clock {
     fn charge(&mut self, t: SimTime) {
         self.now += t;
         self.cpu_time += t;
+        self.publish();
+    }
+
+    /// Publishes the current simulated time to the observability layer so
+    /// events emitted anywhere (including clock-less layers like the
+    /// memory bus) carry deterministic timestamps. One thread-local read
+    /// when tracing is off.
+    fn publish(&self) {
+        if rio_obs::is_enabled() {
+            rio_obs::set_sim_ns(self.now.as_micros().saturating_mul(1_000));
+        }
     }
 
     /// Charges `n` interpreted instructions, with the code-patching penalty
@@ -182,6 +193,7 @@ impl Clock {
         if t > self.now {
             self.disk_wait += t.saturating_sub(self.now);
             self.now = t;
+            self.publish();
         }
     }
 
@@ -190,6 +202,7 @@ impl Clock {
     pub fn idle_until(&mut self, t: SimTime) {
         if t > self.now {
             self.now = t;
+            self.publish();
         }
     }
 }

@@ -66,7 +66,15 @@ fn read_block(disk: &mut SimDisk, block: u64, report: &mut FsckReport) -> Option
     for _ in 0..IO_RETRY_LIMIT {
         match disk.try_peek(block) {
             Ok(data) => return Some(data.to_vec()),
-            Err(DiskIoError::Transient) => report.read_retries += 1,
+            Err(DiskIoError::Transient) => {
+                report.read_retries += 1;
+                if rio_obs::is_enabled() {
+                    rio_obs::emit(
+                        rio_obs::EventCategory::FsckRetry,
+                        rio_obs::Payload::Block { block, aux: 0 },
+                    );
+                }
+            }
             Err(DiskIoError::Permanent) => break,
         }
     }
@@ -80,7 +88,15 @@ fn write_block(disk: &mut SimDisk, block: u64, data: &[u8], report: &mut FsckRep
     for _ in 0..IO_RETRY_LIMIT {
         match disk.try_poke(block, data) {
             Ok(()) => return,
-            Err(DiskIoError::Transient) => report.write_retries += 1,
+            Err(DiskIoError::Transient) => {
+                report.write_retries += 1;
+                if rio_obs::is_enabled() {
+                    rio_obs::emit(
+                        rio_obs::EventCategory::FsckRetry,
+                        rio_obs::Payload::Block { block, aux: 1 },
+                    );
+                }
+            }
             Err(DiskIoError::Permanent) => break,
         }
     }

@@ -119,6 +119,18 @@ impl FaultHooks {
         FaultHooks::default()
     }
 
+    /// Counts one activation and traces it. `kind`: 0 = copy overrun,
+    /// 1 = off-by-one, 2 = lock skip, 3 = premature free.
+    fn fired(&mut self, kind: u64) {
+        self.activations += 1;
+        if rio_obs::is_enabled() {
+            rio_obs::emit(
+                rio_obs::EventCategory::HookFired,
+                rio_obs::Payload::Count { value: kind },
+            );
+        }
+    }
+
     /// Whether any hook is armed.
     pub fn any_armed(&self) -> bool {
         self.copy_overrun.is_some()
@@ -133,13 +145,14 @@ impl FaultHooks {
         let mut out = len;
         if let Some(spec) = &mut self.copy_overrun {
             if let Some(extra) = spec.tick() {
-                self.activations += 1;
+                self.fired(0);
                 out += extra;
             }
         }
         if let Some((dir, cadence)) = &mut self.off_by_one {
             if cadence.tick() {
-                self.activations += 1;
+                let dir = *dir;
+                self.fired(1);
                 return match dir {
                     OffByOne::OneMore => out + 1,
                     OffByOne::OneLess => out.saturating_sub(1),
@@ -153,7 +166,8 @@ impl FaultHooks {
     pub fn dirents_scan_skew(&mut self) -> i32 {
         if let Some((dir, cadence)) = &mut self.off_by_one {
             if cadence.tick() {
-                self.activations += 1;
+                let dir = *dir;
+                self.fired(1);
                 return match dir {
                     OffByOne::OneMore => 1,
                     OffByOne::OneLess => -1,
@@ -168,7 +182,7 @@ impl FaultHooks {
     pub fn skip_lock_op(&mut self) -> bool {
         if let Some(c) = &mut self.lock_skip {
             if c.tick() {
-                self.activations += 1;
+                self.fired(2);
                 return true;
             }
         }
@@ -195,7 +209,7 @@ impl FaultHooks {
         if self.pending_free.is_none() {
             if let Some(c) = &mut self.alloc_premature_free {
                 if c.tick() {
-                    self.activations += 1;
+                    self.fired(3);
                     self.pending_free = Some(PendingPrematureFree {
                         addr,
                         delay_calls: 3,

@@ -64,6 +64,13 @@ pub struct KernelStats {
     pub overflow_writebacks: u64,
     /// `update` daemon runs.
     pub update_runs: u64,
+    /// Reliability writes converted to delayed writes (the paper's
+    /// bwrite→bdwrite conversion, §2.3: metadata updates that a stock
+    /// kernel would push synchronously but this policy leaves dirty in
+    /// memory).
+    pub bwrite_to_bdwrite: u64,
+    /// Atomic shadow-page metadata commits (§2.3).
+    pub shadow_commits: u64,
 }
 
 /// Construction parameters for a kernel.
@@ -362,6 +369,14 @@ impl Kernel {
         }
         self.stats.syscalls += 1;
         self.machine.clock.charge_syscall();
+        if rio_obs::is_enabled() {
+            rio_obs::emit(
+                rio_obs::EventCategory::Syscall,
+                rio_obs::Payload::Count {
+                    value: self.stats.syscalls,
+                },
+            );
+        }
         // The rest-of-the-kernel consistency probe (see
         // `Machine::integrity_probe`).
         if let Err(reason) = self.machine.integrity_probe() {
@@ -380,6 +395,49 @@ impl Kernel {
     /// to drain the cache before powering down.
     pub fn set_reliability_writes(&mut self, enabled: bool) {
         self.policy.fsync_writes_disk = enabled;
+    }
+
+    /// Snapshots every layer's counters into an observability registry.
+    ///
+    /// This is the bridge between the plain per-subsystem stats structs
+    /// (kept free of thread-local traffic on the hot paths) and the
+    /// [`rio_obs::Registry`] a trace session collects: called once per
+    /// trial/run, it copies memory-bus, kernel, disk, CRC-cache, hook, and
+    /// protection-window counters under stable dotted names. Counter names
+    /// are part of the trace format documented in `DESIGN.md` §5.
+    pub fn observe_into(&self, reg: &mut rio_obs::Registry) {
+        let m = self.machine.bus.stats();
+        reg.add("mem.loads", m.loads);
+        reg.add("mem.stores", m.stores);
+        reg.add("mem.bytes_moved", m.bytes_moved);
+        reg.add("mem.protection_traps", m.protection_traps);
+        reg.add("mem.patch_checks", m.patch_checks);
+        reg.add("mem.kseg_forced", m.kseg_forced);
+
+        let k = self.stats;
+        reg.add("kernel.syscalls", k.syscalls);
+        reg.add("kernel.sync_waits", k.sync_waits);
+        reg.add("kernel.overflow_writebacks", k.overflow_writebacks);
+        reg.add("kernel.update_runs", k.update_runs);
+        reg.add("kernel.bwrite_to_bdwrite", k.bwrite_to_bdwrite);
+        reg.add("kernel.shadow_commits", k.shadow_commits);
+        reg.add("kernel.hook_activations", self.machine.hooks.activations);
+        reg.add("kernel.crc_sectors_cached", self.crc_cache.sectors_cached);
+        reg.add(
+            "kernel.crc_sectors_recomputed",
+            self.crc_cache.sectors_recomputed,
+        );
+        if let Some(p) = self.rio_stats() {
+            reg.add("rio.windows_opened", p.windows_opened);
+        }
+
+        let d = self.machine.disk.stats();
+        reg.add("disk.reads", d.reads);
+        reg.add("disk.writes", d.writes);
+        reg.add("disk.bytes_read", d.bytes_read);
+        reg.add("disk.bytes_written", d.bytes_written);
+        reg.add("disk.writes_lost_at_crash", d.writes_lost_at_crash);
+        reg.add("disk.blocks_torn_at_crash", d.blocks_torn_at_crash);
     }
 
     /// Whether this kernel maintains Rio state.

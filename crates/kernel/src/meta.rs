@@ -306,6 +306,7 @@ impl Kernel {
 
         if let Some((slot, mut entry, shadow)) = shadow_ctx {
             let rio = self.rio.as_mut().expect("rio checked");
+            let committed_shadow = shadow.is_some();
             let res = match shadow {
                 Some(sh) => rio.shadows.end_atomic(
                     &mut self.machine.bus,
@@ -321,13 +322,26 @@ impl Kernel {
                     .update_crc(&mut self.machine.bus, &mut rio.prot, slot, &mut entry),
             };
             res.map_err(|f| self.die(PanicReason::Mem(f)))?;
+            if committed_shadow {
+                self.stats.shadow_commits += 1;
+                if rio_obs::is_enabled() {
+                    rio_obs::emit(
+                        rio_obs::EventCategory::ShadowCommit,
+                        rio_obs::Payload::Block { block, aux: slot },
+                    );
+                }
+            }
         }
         self.bufcache.mark_dirty(block);
 
         // Policy write-back. Only ordering-critical updates pay the
         // synchronous write under MetadataPolicy::Sync.
         match self.policy.metadata {
-            MetadataPolicy::Sync if !critical => {}
+            MetadataPolicy::Sync if !critical => {
+                // A stock kernel would bwrite this non-critical update too;
+                // the policy leaves it delayed-dirty (§3.2 conversion).
+                self.note_bwrite_converted(block);
+            }
             MetadataPolicy::Sync => {
                 let now = self.machine.clock.now();
                 let done = self.machine.disk.submit_write_from(
@@ -343,9 +357,24 @@ impl Kernel {
             MetadataPolicy::Journal => {
                 self.journal_append(page);
             }
-            MetadataPolicy::Delayed | MetadataPolicy::Never => {}
+            MetadataPolicy::Delayed | MetadataPolicy::Never => {
+                self.note_bwrite_converted(block);
+            }
         }
         Ok(())
+    }
+
+    /// Records one bwrite→bdwrite conversion: a metadata update that a
+    /// stock sync-metadata kernel would have pushed synchronously stays a
+    /// delayed write under this policy.
+    fn note_bwrite_converted(&mut self, block: u64) {
+        self.stats.bwrite_to_bdwrite += 1;
+        if rio_obs::is_enabled() {
+            rio_obs::emit(
+                rio_obs::EventCategory::BwriteConverted,
+                rio_obs::Payload::Block { block, aux: 0 },
+            );
+        }
     }
 
     /// Appends one page to the journal area (asynchronous, sequential —

@@ -92,6 +92,10 @@ pub struct AccessStats {
     pub protection_traps: u64,
     /// Software checks performed in code-patching mode (each costs CPU time).
     pub patch_checks: u64,
+    /// KSEG (physical-address) stores that were forced through the TLB's
+    /// permission bits — the §2.1 ABOX trick actually doing its job (zero
+    /// on a stock kernel, where KSEG bypasses translation entirely).
+    pub kseg_forced: u64,
 }
 
 /// Physical memory plus protection state plus access accounting.
@@ -183,6 +187,15 @@ impl MemBus {
         if len == 0 {
             return Ok(());
         }
+        if kind.is_kseg()
+            && match self.prot.mode() {
+                ProtectionMode::Off => false,
+                ProtectionMode::Hardware => self.prot.kseg_through_tlb(),
+                ProtectionMode::CodePatching => true,
+            }
+        {
+            self.stats.kseg_forced += 1;
+        }
         let first = PageNum::containing(addr);
         let last = PageNum::containing(addr + len - 1);
         for pn in first.0..=last.0 {
@@ -190,6 +203,13 @@ impl MemBus {
             if self.prot.store_would_trap(pn, kind.is_kseg()) {
                 self.stats.protection_traps += 1;
                 let fault_addr = addr.max(pn.base());
+                rio_obs::emit(
+                    rio_obs::EventCategory::ProtectionTrap,
+                    rio_obs::Payload::Addr {
+                        addr: fault_addr,
+                        aux: pn.0,
+                    },
+                );
                 return Err(MemFault::ProtectionViolation {
                     addr: fault_addr,
                     page: pn,

@@ -12,8 +12,11 @@ cargo build --release
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "== smoke campaign (RIO_TRIALS=3) =="
 RIO_TRIALS=3 cargo run -q --release -p rio-bench --bin table1
@@ -26,6 +29,17 @@ RIO_TRIALS=1 RIO_THREADS=4 cargo run -q --release -p rio-bench --bin recovery > 
 cmp "$rec_a" "$rec_b"
 grep -q 'every interrupted recovery converged' "$rec_a"
 rm -f "$rec_a" "$rec_b"
+
+echo "== explain forensics determinism (RIO_THREADS=1 vs 8) =="
+exp_a="$(mktemp)"
+exp_b="$(mktemp)"
+RIO_OBS_JSON="" RIO_THREADS=1 cargo run -q --release -p rio-bench --bin explain -- \
+    --fault copy_overrun --system rio_prot --attempt 0 > "$exp_a"
+RIO_OBS_JSON="" RIO_THREADS=8 cargo run -q --release -p rio-bench --bin explain -- \
+    --fault copy_overrun --system rio_prot --attempt 0 > "$exp_b"
+cmp "$exp_a" "$exp_b"
+grep -q '^verdict' "$exp_a"
+rm -f "$exp_a" "$exp_b"
 
 echo "== smoke write benchmark (RIO_BENCH_ITERS=5) =="
 smoke_json="$(mktemp)"

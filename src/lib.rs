@@ -24,6 +24,7 @@
 //! | [`faults`] | `rio-faults` | the 13 fault models and the crash campaign |
 //! | [`workloads`] | `rio-workloads` | memTest, Andrew, cp+rm, Sdet |
 //! | [`harness`] | `rio-harness` | Table 1 / Table 2 / MTTF report generators |
+//! | [`obs`] | `rio-obs` | deterministic event tracing + counter registries |
 //!
 //! # Quickstart
 //!
@@ -40,4 +41,5 @@ pub use rio_faults as faults;
 pub use rio_harness as harness;
 pub use rio_kernel as kernel;
 pub use rio_mem as mem;
+pub use rio_obs as obs;
 pub use rio_workloads as workloads;
