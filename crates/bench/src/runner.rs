@@ -29,14 +29,14 @@ pub struct BenchResult {
     pub bytes_per_iter: Option<u64>,
 }
 
-/// Picks `frac` of the way through a sorted sample (nearest-rank on the
-/// inclusive index range, matching the campaign summary's convention).
+/// Picks `frac` of the way through a sorted sample, delegating to the
+/// workspace-wide convention in [`rio_det::stats`] (floor on the
+/// inclusive index — the same pick the campaign summary makes, so a p95
+/// printed by `bench` and one printed by `propagation` agree rank-for-
+/// rank on the same data). This used to `.round()`, which disagreed with
+/// the campaign summary by one rank on even-length samples.
 pub fn percentile(sorted_ns: &[u64], frac: f64) -> u64 {
-    if sorted_ns.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * frac).round() as usize;
-    sorted_ns[idx.min(sorted_ns.len() - 1)]
+    rio_det::stats::percentile(sorted_ns, frac)
 }
 
 /// Formats nanoseconds human-readably.
@@ -204,10 +204,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_follows_workspace_convention() {
         let s: Vec<u64> = (1..=10).collect();
         assert_eq!(percentile(&s, 0.0), 1);
-        assert_eq!(percentile(&s, 0.5), 6); // round(4.5) = 5th index
+        // floor(4.5) = index 4 — the lower middle, matching the campaign
+        // summary (the old `.round()` said 6 here).
+        assert_eq!(percentile(&s, 0.5), 5);
         assert_eq!(percentile(&s, 1.0), 10);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.95), 7);

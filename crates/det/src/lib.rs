@@ -13,7 +13,12 @@
 //!   failure-seed reporting, bounded shrink) replacing the external
 //!   `proptest` dependency.
 
+//! * [`stats`] — the workspace's single percentile convention, shared by
+//!   the bench runner and the campaign summaries.
+
 pub mod proptest_lite;
 pub mod rng;
+pub mod stats;
 
 pub use rng::{derive_seed, derive_seed3, DetRng};
+pub use stats::percentile;

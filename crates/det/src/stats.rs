@@ -1,0 +1,80 @@
+//! The workspace's one percentile convention.
+//!
+//! Two summaries used to disagree: the bench runner picked
+//! `round((len-1)·frac)` while the campaign summary picked
+//! `floor((len-1)·frac)`, so a p95 over the same sample could differ by
+//! one rank between `BENCH_*.json` and `results_propagation.txt`. This
+//! module pins the single convention every reporter now shares:
+//!
+//! **floor on the inclusive index** — `sorted[floor((len-1)·frac)]`.
+//!
+//! Properties worth the name:
+//! - `frac = 0.0` is the minimum and `frac = 1.0` the maximum, exactly.
+//! - The result is always an element of the sample (no interpolation),
+//!   so integer metrics stay integers.
+//! - For even `len`, the median is the *lower* middle element — the
+//!   conservative pick for latency data (never reports a latency nobody
+//!   experienced, never rounds a p50 upward past the true middle).
+
+/// Picks `frac` (clamped to `0.0..=1.0`) of the way through a sorted
+/// sample: `sorted[floor((len-1)·frac)]`. Returns 0 for an empty sample.
+pub fn percentile(sorted: &[u64], frac: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let frac = frac.clamp(0.0, 1.0);
+    let idx = ((sorted.len() - 1) as f64 * frac) as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn single_element_is_every_percentile() {
+        for frac in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&[42], frac), 42);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 0.0), 1);
+        assert_eq!(percentile(&s, 1.0), 10);
+    }
+
+    #[test]
+    fn even_length_median_is_lower_middle() {
+        let s: Vec<u64> = (1..=10).collect();
+        // (10-1)·0.5 = 4.5 → floor → index 4 → value 5 (the old `.round()`
+        // convention said 6; this pin is the regression guard).
+        assert_eq!(percentile(&s, 0.5), 5);
+    }
+
+    #[test]
+    fn odd_length_median_is_the_middle() {
+        let s: Vec<u64> = (1..=9).collect();
+        assert_eq!(percentile(&s, 0.5), 5);
+    }
+
+    #[test]
+    fn p95_on_twenty_samples() {
+        let s: Vec<u64> = (1..=20).collect();
+        // (20-1)·0.95 = 18.05 → index 18 → value 19.
+        assert_eq!(percentile(&s, 0.95), 19);
+    }
+
+    #[test]
+    fn out_of_range_frac_is_clamped() {
+        let s: Vec<u64> = (1..=4).collect();
+        assert_eq!(percentile(&s, -1.0), 1);
+        assert_eq!(percentile(&s, 2.0), 4);
+    }
+}

@@ -1,0 +1,417 @@
+//! A striped multi-device request plane: D independent queues with C-LOOK
+//! dispatch.
+//!
+//! [`DiskArray`] manages only the *queue/timing* plane of a striped disk;
+//! the data plane (block contents, torn flags, fault tables, counters)
+//! stays in [`crate::SimDisk`], which owns an array when constructed via
+//! [`crate::SimDisk::new_striped`]. Global block `b` lives on device
+//! `b % D` at inner (per-platter) block `b / D`, so a sequential global
+//! stream fans out round-robin across all spindles.
+//!
+//! # Dispatch model
+//!
+//! Each device keeps its requests in **dispatch order**. A request whose
+//! scheduled start time has passed is *pinned* — the head has committed to
+//! it — as is everything before a read (reads are synchronous barriers at
+//! the OS level). The unstarted tail behind the pinned prefix is kept in
+//! C-LOOK order: an ascending sweep from the head's position, wrapping to
+//! the lowest outstanding block, recomputed whenever a new write arrives.
+//! Service times returned to callers are therefore *scheduled estimates*;
+//! a later arrival can re-order the unstarted tail and shift them. Exact
+//! durability is always available through [`DiskArray::drain_time`] +
+//! retirement, which is what `SimDisk::sync` uses — the single-device
+//! FIFO disk remains the reference model for crash-precision experiments.
+
+use crate::model::{DiskModel, Positioning};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Maximum devices per array (bounded so per-device observability names
+/// can be interned as constants — no allocation on the submit path).
+pub const MAX_DEVICES: usize = 8;
+
+/// Interned per-device queue-depth histogram names.
+pub(crate) const DEV_QUEUE_DEPTH: [&str; MAX_DEVICES] = [
+    "disk.queue_depth.dev0",
+    "disk.queue_depth.dev1",
+    "disk.queue_depth.dev2",
+    "disk.queue_depth.dev3",
+    "disk.queue_depth.dev4",
+    "disk.queue_depth.dev5",
+    "disk.queue_depth.dev6",
+    "disk.queue_depth.dev7",
+];
+
+/// One queued request on one device.
+#[derive(Debug, Clone)]
+struct Req {
+    /// Inner (per-device) block number.
+    inner: u64,
+    /// Global block number (what the caller addressed).
+    global: u64,
+    /// Payload for writes; `None` marks a read occupying head time.
+    data: Option<Vec<u8>>,
+    /// Submitted as part of a forced-sequential stream.
+    force_sequential: bool,
+    /// Scheduled head start.
+    start: SimTime,
+    /// Scheduled completion.
+    end: SimTime,
+}
+
+/// One device: a queue in dispatch order plus the head state left behind
+/// by already-retired requests.
+#[derive(Debug, Clone, Default)]
+struct Device {
+    queue: VecDeque<Req>,
+    /// Prefix of `queue` whose order is frozen (started requests and
+    /// everything up to and including the latest read barrier).
+    barrier: usize,
+    /// Inner block of the last *retired* request (head position when the
+    /// queue is empty).
+    retired_inner: Option<u64>,
+    /// Completion time of the last retired request.
+    retired_until: SimTime,
+}
+
+/// A write made durable by retirement: `(global block, payload)`.
+pub type RetiredWrite = (u64, Vec<u8>);
+
+/// A write torn by a crash: `(global block, payload)` — the caller applies
+/// the half-old/half-new tear.
+pub type TornWrite = (u64, Vec<u8>);
+
+/// The striped request plane. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct DiskArray {
+    devices: Vec<Device>,
+}
+
+impl DiskArray {
+    /// An array of `devices` empty queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= devices <= MAX_DEVICES` — a 1-device array is
+    /// just the FIFO disk, which `SimDisk::new_striped` constructs
+    /// directly.
+    pub fn new(devices: usize) -> Self {
+        assert!(
+            (2..=MAX_DEVICES).contains(&devices),
+            "device count {devices} outside 2..={MAX_DEVICES}"
+        );
+        DiskArray {
+            devices: (0..devices).map(|_| Device::default()).collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device index for a global block.
+    pub fn device_of(&self, block: u64) -> usize {
+        (block % self.devices.len() as u64) as usize
+    }
+
+    fn inner_of(&self, block: u64) -> u64 {
+        block / self.devices.len() as u64
+    }
+
+    /// When every queue drains (≥ `now`).
+    pub fn drain_time(&self, now: SimTime) -> SimTime {
+        self.devices
+            .iter()
+            .map(Device::busy_until)
+            .fold(now, SimTime::max)
+    }
+
+    /// Outstanding writes across all devices at `now` (non-mutating).
+    pub fn queue_depth_at(&self, now: SimTime) -> usize {
+        (0..self.devices.len())
+            .map(|d| self.device_queue_depth_at(d, now))
+            .sum()
+    }
+
+    /// Outstanding writes on one device at `now` (non-mutating).
+    pub fn device_queue_depth_at(&self, dev: usize, now: SimTime) -> usize {
+        self.devices[dev]
+            .queue
+            .iter()
+            .filter(|r| r.data.is_some() && r.end > now)
+            .count()
+    }
+
+    /// Retires every request complete by `now`, returning durable writes
+    /// in device order (a block maps to exactly one device, so cross-device
+    /// application order cannot affect final contents).
+    pub fn retire(&mut self, now: SimTime) -> Vec<RetiredWrite> {
+        let mut out = Vec::new();
+        for dev in &mut self.devices {
+            while let Some(front) = dev.queue.front() {
+                if front.end > now {
+                    break;
+                }
+                let r = dev.queue.pop_front().expect("front exists");
+                dev.barrier = dev.barrier.saturating_sub(1);
+                dev.retired_inner = Some(r.inner);
+                dev.retired_until = r.end;
+                if let Some(data) = r.data {
+                    out.push((r.global, data));
+                }
+            }
+        }
+        out
+    }
+
+    /// Submits a write of `block`; returns its scheduled completion time.
+    pub fn submit_write(
+        &mut self,
+        block: u64,
+        data: Vec<u8>,
+        now: SimTime,
+        force_sequential: bool,
+        model: &DiskModel,
+    ) -> SimTime {
+        let dev = self.device_of(block);
+        let inner = self.inner_of(block);
+        let req = Req {
+            inner,
+            global: block,
+            data: Some(data),
+            force_sequential,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        };
+        self.devices[dev].insert_clook(req, block, now, model)
+    }
+
+    /// Submits a read of `block`; returns `(latest queued payload if any,
+    /// completion time)`. The read seals the device's queue order (no later
+    /// write may be scheduled ahead of it).
+    pub fn submit_read(
+        &mut self,
+        block: u64,
+        now: SimTime,
+        force_sequential: bool,
+        model: &DiskModel,
+    ) -> (Option<Vec<u8>>, SimTime) {
+        let dev = self.device_of(block);
+        let inner = self.inner_of(block);
+        // Read-after-write: the latest queued write to this block wins.
+        let pending = self.devices[dev]
+            .queue
+            .iter()
+            .rev()
+            .find(|r| r.global == block && r.data.is_some())
+            .and_then(|r| r.data.clone());
+        let d = &mut self.devices[dev];
+        let (prev_inner, free_at) = d.tail_boundary(d.queue.len());
+        let start = free_at.max(now);
+        let kind = positioning(prev_inner, inner, force_sequential);
+        let end = start + model.service_time_kind(crate::sim::BLOCK_SIZE as u64, kind);
+        d.queue.push_back(Req {
+            inner,
+            global: block,
+            data: None,
+            force_sequential,
+            start,
+            end,
+        });
+        d.barrier = d.queue.len();
+        (pending, end)
+    }
+
+    /// Crash at `now`: retires what completed, tears the per-device
+    /// in-flight write, and counts unstarted writes as lost. Returns
+    /// `(torn writes, lost count)`; queues are reset.
+    pub fn crash(&mut self, now: SimTime) -> (Vec<TornWrite>, u64) {
+        let _ = self.retire(now);
+        let mut torn = Vec::new();
+        let mut lost = 0u64;
+        for dev in &mut self.devices {
+            while let Some(r) = dev.queue.pop_front() {
+                let Some(data) = r.data else { continue };
+                if r.start < now && now < r.end {
+                    torn.push((r.global, data));
+                } else {
+                    lost += 1;
+                }
+            }
+            *dev = Device::default();
+        }
+        (torn, lost)
+    }
+
+}
+
+/// Positioning class given the previous inner block on the device.
+fn positioning(prev: Option<u64>, inner: u64, force_sequential: bool) -> Positioning {
+    if force_sequential || prev == Some(inner.wrapping_sub(1)) {
+        Positioning::Sequential
+    } else if prev == Some(inner) {
+        Positioning::SameBlock
+    } else {
+        Positioning::Random
+    }
+}
+
+impl Device {
+    fn busy_until(&self) -> SimTime {
+        self.queue
+            .back()
+            .map(|r| r.end)
+            .unwrap_or(self.retired_until)
+    }
+
+    /// Head state at the start of the unstarted tail beginning at `idx`:
+    /// `(inner block of the predecessor, when the head frees up)`.
+    fn tail_boundary(&self, idx: usize) -> (Option<u64>, SimTime) {
+        if idx > 0 {
+            let prev = &self.queue[idx - 1];
+            (Some(prev.inner), prev.end)
+        } else {
+            (self.retired_inner, self.retired_until)
+        }
+    }
+
+    /// Length of the pinned prefix at `now`: the read barrier plus any
+    /// request the head has already started.
+    fn pinned(&self, now: SimTime) -> usize {
+        let started = self.queue.partition_point(|r| r.start <= now);
+        self.barrier.max(started)
+    }
+
+    /// Inserts `req` into the unstarted tail in C-LOOK order and
+    /// recomputes the tail's schedule. Returns the new request's
+    /// completion time.
+    fn insert_clook(&mut self, req: Req, global: u64, now: SimTime, model: &DiskModel) -> SimTime {
+        let pinned = self.pinned(now);
+        self.barrier = pinned;
+        let (boundary_inner, boundary_free) = self.tail_boundary(pinned);
+        // C-LOOK sweep origin: one past the head's current position.
+        let head = boundary_inner.map_or(0, |b| b.wrapping_add(1));
+        let mut tail: Vec<Req> = self.queue.drain(pinned..).collect();
+        tail.push(req);
+        // Ascending sweep from `head`, wrapping to the lowest block. The
+        // sort is stable, so equal inner blocks keep arrival order.
+        tail.sort_by_key(|r| (r.inner < head, r.inner));
+        // Recompute the tail's schedule from the boundary state.
+        let mut prev_inner = boundary_inner;
+        let mut cursor = boundary_free.max(now);
+        let mut submitted_end = SimTime::ZERO;
+        for r in &mut tail {
+            let kind = positioning(prev_inner, r.inner, r.force_sequential);
+            r.start = cursor;
+            r.end = cursor + model.service_time_kind(crate::sim::BLOCK_SIZE as u64, kind);
+            cursor = r.end;
+            prev_inner = Some(r.inner);
+            if r.global == global && r.data.is_some() {
+                // The newest write to `global` is the one just inserted
+                // (stable sort keeps it last among duplicates).
+                submitted_end = r.end;
+            }
+        }
+        self.queue.extend(tail);
+        submitted_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::BLOCK_SIZE;
+
+    fn model() -> DiskModel {
+        DiskModel::paper_scsi()
+    }
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn striping_maps_blocks_round_robin() {
+        let a = DiskArray::new(4);
+        assert_eq!(a.device_of(0), 0);
+        assert_eq!(a.device_of(1), 1);
+        assert_eq!(a.device_of(5), 1);
+        assert_eq!(a.inner_of(5), 1);
+        assert_eq!(a.inner_of(8), 2);
+    }
+
+    #[test]
+    fn writes_to_distinct_devices_overlap() {
+        let mut a = DiskArray::new(4);
+        // Four blocks on four different devices: all four finish at the
+        // same time a single one would.
+        let mut ends = Vec::new();
+        for b in 0..4u64 {
+            ends.push(a.submit_write(b, block_of(1), SimTime::ZERO, false, &model()));
+        }
+        assert!(ends.windows(2).all(|w| w[0] == w[1]), "{ends:?}");
+        // The same four blocks on one device would serialize.
+        let mut f = DiskArray::new(2);
+        let e0 = f.submit_write(0, block_of(1), SimTime::ZERO, false, &model());
+        let e2 = f.submit_write(2, block_of(1), SimTime::ZERO, false, &model());
+        assert!(e2 > e0, "same device serializes");
+    }
+
+    #[test]
+    fn clook_reorders_unstarted_tail_into_ascending_sweep() {
+        let mut a = DiskArray::new(2);
+        // All blocks even → device 0. Submit far blocks first, then a near
+        // one; the near one must NOT jump ahead of the in-flight first
+        // request, but the unstarted tail is swept in ascending order.
+        let e_far = a.submit_write(40, block_of(1), SimTime::ZERO, false, &model());
+        let e_mid = a.submit_write(80, block_of(2), SimTime::ZERO, false, &model());
+        // Block 60 (inner 30) sorts between inner 20 and inner 40 in the
+        // sweep, so its completion lands before the (re-planned) inner 40.
+        let e_near = a.submit_write(60, block_of(3), SimTime::ZERO, false, &model());
+        let e_mid_after = a.drain_time(SimTime::ZERO);
+        assert!(e_near > e_far, "cannot pass the in-flight request");
+        assert!(e_near < e_mid_after, "swept ahead of the farther block");
+        // Retirement applies every payload exactly once.
+        let retired = a.retire(e_mid_after);
+        assert_eq!(retired.len(), 3);
+        let _ = e_mid;
+    }
+
+    #[test]
+    fn read_seals_the_queue_and_sees_pending_writes() {
+        let mut a = DiskArray::new(2);
+        a.submit_write(0, block_of(0xAB), SimTime::ZERO, false, &model());
+        let (data, end) = a.submit_read(0, SimTime::ZERO, false, &model());
+        assert_eq!(data.unwrap(), block_of(0xAB));
+        // A later write to a lower block cannot be scheduled before the
+        // read barrier.
+        let e = a.submit_write(2, block_of(1), SimTime::ZERO, false, &model());
+        assert!(e > end, "write scheduled after the read barrier");
+    }
+
+    #[test]
+    fn crash_tears_per_device_in_flight_and_loses_unstarted() {
+        let mut a = DiskArray::new(2);
+        let first = a.submit_write(0, block_of(1), SimTime::ZERO, false, &model());
+        a.submit_write(2, block_of(2), SimTime::ZERO, false, &model());
+        a.submit_write(1, block_of(3), SimTime::ZERO, false, &model()); // device 1
+        // Crash mid-way through device 0's second request; device 1's
+        // single request (same duration as device 0's first) is durable.
+        let (torn, lost) = a.crash(first + SimTime::from_micros(1));
+        assert_eq!(torn.len(), 1, "device 0's in-flight write tears");
+        assert_eq!(torn[0].0, 2);
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn queue_depth_at_is_non_mutating_and_time_scoped() {
+        let mut a = DiskArray::new(2);
+        let e0 = a.submit_write(0, block_of(1), SimTime::ZERO, false, &model());
+        let e1 = a.submit_write(1, block_of(2), SimTime::ZERO, false, &model());
+        assert_eq!(a.queue_depth_at(SimTime::ZERO), 2);
+        assert_eq!(a.queue_depth_at(e0.max(e1)), 0);
+        // Probing did not retire anything.
+        assert_eq!(a.retire(e0.max(e1)).len(), 2);
+    }
+}

@@ -5,7 +5,9 @@
 //! Rio pays none. The model is a 1996-class SCSI drive (the paper's DEC
 //! 3000/600 era): average seek plus half-rotation per random access, a
 //! sequential-transfer fast path (used by the AdvFS journal), and a single
-//! request queue served in FIFO order.
+//! request queue served in FIFO order. [`SimDisk::new_striped`] extends
+//! the same machine to a [`DiskArray`]: blocks striped round-robin across
+//! D devices, each with its own queue and C-LOOK dispatch.
 //!
 //! Crash semantics matter for the reliability experiments: a write that is
 //! *in flight* when the system crashes leaves a **torn block** (half old
@@ -25,10 +27,12 @@
 //! assert_eq!(data, block); // read sees the completed write
 //! ```
 
+pub mod array;
 pub mod model;
 pub mod sim;
 pub mod time;
 
+pub use array::{DiskArray, MAX_DEVICES};
 pub use model::{DiskModel, Positioning};
 pub use sim::{DiskFault, DiskIoError, DiskStats, SimDisk, BLOCK_SIZE};
 pub use time::SimTime;

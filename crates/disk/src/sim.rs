@@ -1,6 +1,7 @@
 //! The simulated disk: a block store with a FIFO request queue, asynchronous
 //! writes, and torn-write crash semantics.
 
+use crate::array::{DiskArray, DEV_QUEUE_DEPTH};
 use crate::model::{DiskModel, Positioning};
 use crate::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
@@ -95,6 +96,11 @@ pub struct SimDisk {
     read_faults: BTreeMap<u64, DiskFault>,
     write_faults: BTreeMap<u64, DiskFault>,
     stats: DiskStats,
+    /// Striped multi-device request plane ([`SimDisk::new_striped`]). When
+    /// set, the FIFO fields above (`pending`, `busy_until`, `last_block`)
+    /// are unused and every timed operation routes through the array; the
+    /// data plane (blocks, torn flags, fault tables, stats) is shared.
+    array: Option<DiskArray>,
 }
 
 impl SimDisk {
@@ -111,7 +117,33 @@ impl SimDisk {
             read_faults: BTreeMap::new(),
             write_faults: BTreeMap::new(),
             stats: DiskStats::default(),
+            array: None,
         }
+    }
+
+    /// A disk whose blocks are striped round-robin across `devices`
+    /// spindles, each with its own queue and C-LOOK dispatch (see
+    /// [`crate::array`]). `devices == 1` yields the plain FIFO disk —
+    /// the two are the same machine, so the single-device timing model
+    /// (and every artifact derived from it) is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is 0 or exceeds
+    /// [`crate::array::MAX_DEVICES`].
+    pub fn new_striped(num_blocks: u64, model: DiskModel, devices: usize) -> Self {
+        assert!(devices >= 1, "need at least one device");
+        let mut d = SimDisk::new(num_blocks, model);
+        if devices > 1 {
+            d.array = Some(DiskArray::new(devices));
+        }
+        d
+    }
+
+    /// Number of devices the block space is striped across (1 for the
+    /// plain FIFO disk).
+    pub fn devices(&self) -> usize {
+        self.array.as_ref().map_or(1, DiskArray::devices)
     }
 
     /// Number of blocks.
@@ -131,13 +163,39 @@ impl SimDisk {
 
     /// When the queue fully drains (≥ `now`).
     pub fn idle_at(&self, now: SimTime) -> SimTime {
-        self.busy_until.max(now)
+        match &self.array {
+            Some(a) => a.drain_time(now),
+            None => self.busy_until.max(now),
+        }
     }
 
     /// Number of writes still in the queue at `now`.
-    pub fn queue_depth(&mut self, now: SimTime) -> usize {
-        self.apply_completed(now);
-        self.pending.len()
+    ///
+    /// Alias of [`SimDisk::queue_depth_at`]. This used to retire completed
+    /// writes as a side effect of observing the queue, which let an
+    /// observability probe perturb subsequent retirement/crash ordering;
+    /// observation is now pure.
+    pub fn queue_depth(&self, now: SimTime) -> usize {
+        self.queue_depth_at(now)
+    }
+
+    /// Number of writes outstanding (not yet durable) at `now`, without
+    /// mutating any disk state: completed-but-unretired requests are
+    /// excluded by timestamp, not by retiring them.
+    pub fn queue_depth_at(&self, now: SimTime) -> usize {
+        match &self.array {
+            Some(a) => a.queue_depth_at(now),
+            None => self.pending.iter().filter(|w| w.end > now).count(),
+        }
+    }
+
+    /// Makes durable the retired writes a striped array hands back.
+    fn apply_retired(&mut self, retired: Vec<(u64, Vec<u8>)>) {
+        for (block, data) in retired {
+            let old = std::mem::replace(&mut self.blocks[block as usize], data);
+            self.free.push(old);
+            self.torn[block as usize] = false;
+        }
     }
 
     /// Applies every pending write whose completion time has passed.
@@ -217,6 +275,9 @@ impl SimDisk {
         force_sequential: bool,
     ) -> SimTime {
         assert!(block < self.num_blocks(), "block {block} out of range");
+        if self.array.is_some() {
+            return self.submit_striped(block, data, now, force_sequential);
+        }
         self.apply_completed(now);
         let kind = self.positioning(block, force_sequential);
         let start = self.busy_until.max(now);
@@ -227,8 +288,32 @@ impl SimDisk {
         self.stats.bytes_written += BLOCK_SIZE as u64;
         self.pending.push_back(PendingWrite { block, data, start, end });
         if rio_obs::is_enabled() {
-            rio_obs::histogram_record("disk.queue_depth", self.pending.len() as u64);
+            rio_obs::histogram_record("disk.queue_depth", self.queue_depth_at(now) as u64);
         }
+        end
+    }
+
+    /// Striped-array write path: queue on the block's device, retire what
+    /// completed, and record the device's queue depth.
+    fn submit_striped(
+        &mut self,
+        block: u64,
+        data: Vec<u8>,
+        now: SimTime,
+        force_sequential: bool,
+    ) -> SimTime {
+        let model = self.model;
+        let array = self.array.as_mut().expect("striped path");
+        let retired = array.retire(now);
+        let end = array.submit_write(block, data, now, force_sequential, &model);
+        let dev = array.device_of(block);
+        let depth = array.device_queue_depth_at(dev, now) as u64;
+        self.stats.writes += 1;
+        self.stats.bytes_written += BLOCK_SIZE as u64;
+        if rio_obs::is_enabled() {
+            rio_obs::histogram_record(DEV_QUEUE_DEPTH[dev], depth);
+        }
+        self.apply_retired(retired);
         end
     }
 
@@ -241,6 +326,17 @@ impl SimDisk {
     /// Panics if `block` is out of range.
     pub fn read(&mut self, block: u64, now: SimTime, force_sequential: bool) -> (Vec<u8>, SimTime) {
         assert!(block < self.num_blocks(), "block {block} out of range");
+        if self.array.is_some() {
+            let model = self.model;
+            let array = self.array.as_mut().expect("striped path");
+            let retired = array.retire(now);
+            let (pending, end) = array.submit_read(block, now, force_sequential, &model);
+            self.stats.reads += 1;
+            self.stats.bytes_read += BLOCK_SIZE as u64;
+            self.apply_retired(retired);
+            let data = pending.unwrap_or_else(|| self.blocks[block as usize].clone());
+            return (data, end);
+        }
         self.apply_completed(now);
         let kind = self.positioning(block, force_sequential);
         let start = self.busy_until.max(now);
@@ -264,6 +360,12 @@ impl SimDisk {
     /// queue drained.
     pub fn sync(&mut self, now: SimTime) -> SimTime {
         let done = self.idle_at(now);
+        if let Some(array) = self.array.as_mut() {
+            let retired = array.retire(done);
+            self.apply_retired(retired);
+            debug_assert_eq!(self.queue_depth_at(done), 0);
+            return done;
+        }
         self.apply_completed(done);
         debug_assert!(self.pending.is_empty());
         done
@@ -277,6 +379,20 @@ impl SimDisk {
     ///   contents, and the block is flagged torn.
     /// * Queued writes that never started are lost.
     pub fn crash(&mut self, now: SimTime) {
+        if let Some(array) = self.array.as_mut() {
+            let retired = array.retire(now);
+            let (torn, lost) = array.crash(now);
+            self.apply_retired(retired);
+            for (block, data) in torn {
+                let half = BLOCK_SIZE / 2;
+                self.blocks[block as usize][..half].copy_from_slice(&data[..half]);
+                self.torn[block as usize] = true;
+                self.stats.blocks_torn_at_crash += 1;
+                self.free.push(data);
+            }
+            self.stats.writes_lost_at_crash += lost;
+            return;
+        }
         self.apply_completed(now);
         while let Some(w) = self.pending.pop_front() {
             if w.start < now && now < w.end {
@@ -610,6 +726,156 @@ mod tests {
     #[should_panic(expected = "full block")]
     fn short_write_panics() {
         disk().submit_write(0, vec![0; 100], SimTime::ZERO, false);
+    }
+}
+
+#[cfg(test)]
+mod observation_tests {
+    use super::*;
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    /// The regression for the old `queue_depth(&mut self)` bug: observing
+    /// the queue must never change disk state, timing, or crash outcome.
+    #[test]
+    fn observation_never_changes_state_or_timing() {
+        let script = |d: &mut SimDisk, probe: bool| {
+            let e1 = d.submit_write(1, block_of(1), SimTime::ZERO, false);
+            if probe {
+                for t in [SimTime::ZERO, e1, e1 + SimTime::from_secs(1)] {
+                    let _ = d.queue_depth_at(t);
+                }
+            }
+            let e2 = d.submit_write(9, block_of(2), e1, false);
+            if probe {
+                let _ = d.queue_depth_at(e2);
+            }
+            // Crash mid-way through the second request.
+            let mid = SimTime::from_micros((e1.as_micros() + e2.as_micros()) / 2);
+            d.crash(mid);
+            (e1, e2)
+        };
+        let mut observed = SimDisk::new(32, DiskModel::paper_scsi());
+        let mut silent = SimDisk::new(32, DiskModel::paper_scsi());
+        let to = script(&mut observed, true);
+        let ts = script(&mut silent, false);
+        assert_eq!(to, ts, "probing shifted request timing");
+        assert_eq!(observed.stats(), silent.stats());
+        for b in 0..32 {
+            assert_eq!(observed.peek(b), silent.peek(b), "block {b}");
+            assert_eq!(observed.is_torn(b), silent.is_torn(b), "torn {b}");
+        }
+    }
+
+    #[test]
+    fn queue_depth_at_is_pure_and_time_scoped() {
+        let mut d = SimDisk::new(32, DiskModel::paper_scsi());
+        let e1 = d.submit_write(1, block_of(1), SimTime::ZERO, false);
+        let e2 = d.submit_write(2, block_of(2), SimTime::ZERO, false);
+        assert_eq!(d.queue_depth_at(SimTime::ZERO), 2);
+        assert_eq!(d.queue_depth_at(e1), 1);
+        assert_eq!(d.queue_depth_at(e2), 0);
+        // Repeated probes at a late time do not retire anything: the
+        // pending queue still holds both writes for the crash model.
+        assert_eq!(d.queue_depth_at(e2), 0);
+        d.crash(SimTime::from_micros(e1.as_micros() / 2 + 1));
+        assert!(d.is_torn(1), "first write was still in flight at crash");
+    }
+}
+
+#[cfg(test)]
+mod striped_tests {
+    use super::*;
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    fn striped() -> SimDisk {
+        SimDisk::new_striped(64, DiskModel::paper_scsi(), 4)
+    }
+
+    #[test]
+    fn one_device_stripe_is_the_fifo_disk() {
+        let a = SimDisk::new_striped(32, DiskModel::paper_scsi(), 1);
+        assert_eq!(a.devices(), 1);
+        let mut a = a;
+        let mut b = SimDisk::new(32, DiskModel::paper_scsi());
+        let ta = a.submit_write(5, block_of(7), SimTime::ZERO, false);
+        let tb = b.submit_write(5, block_of(7), SimTime::ZERO, false);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn write_read_round_trips_across_devices() {
+        let mut d = striped();
+        let mut done = SimTime::ZERO;
+        for b in 0..8 {
+            done = done.max(d.submit_write(b, block_of(b as u8 + 1), SimTime::ZERO, false));
+        }
+        for b in 0..8 {
+            let (data, _) = d.read(b, done, false);
+            assert_eq!(data, block_of(b as u8 + 1), "block {b}");
+        }
+    }
+
+    #[test]
+    fn sequential_global_stream_overlaps_across_spindles() {
+        let mut striped4 = striped();
+        let mut fifo = SimDisk::new(64, DiskModel::paper_scsi());
+        let mut t4 = SimTime::ZERO;
+        let mut t1 = SimTime::ZERO;
+        for b in 0..8 {
+            t4 = t4.max(striped4.submit_write(b, block_of(1), SimTime::ZERO, false));
+            t1 = t1.max(fifo.submit_write(b, block_of(1), SimTime::ZERO, false));
+        }
+        assert!(
+            t4 < t1,
+            "4 spindles should drain a stream faster: {t4:?} vs {t1:?}"
+        );
+    }
+
+    #[test]
+    fn sync_makes_everything_durable() {
+        let mut d = striped();
+        for b in 0..12 {
+            d.submit_write(b, block_of(b as u8 + 1), SimTime::ZERO, false);
+        }
+        let t = d.sync(SimTime::ZERO);
+        assert_eq!(d.queue_depth_at(t), 0);
+        for b in 0..12 {
+            assert_eq!(d.peek(b)[0], b as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn crash_tears_at_most_one_write_per_device() {
+        let mut d = striped();
+        // Two writes per device: the first wave is in flight at the crash
+        // instant, the second wave never starts.
+        let mut first_wave_end = SimTime::ZERO;
+        for b in 0..4 {
+            first_wave_end = first_wave_end.max(d.submit_write(b, block_of(1), SimTime::ZERO, false));
+        }
+        for b in 4..8 {
+            d.submit_write(b, block_of(2), SimTime::ZERO, false);
+        }
+        d.crash(SimTime::from_micros(first_wave_end.as_micros() / 2 + 1));
+        let s = d.stats();
+        assert_eq!(s.blocks_torn_at_crash, 4, "one tear per device");
+        assert_eq!(s.writes_lost_at_crash, 4, "second wave lost");
+    }
+
+    #[test]
+    fn data_plane_helpers_are_device_agnostic() {
+        let mut d = striped();
+        d.poke(9, &block_of(0x99));
+        assert_eq!(d.peek(9), block_of(0x99).as_slice());
+        d.inject_read_fault(9, DiskFault::Transient(1));
+        assert!(d.try_peek(9).is_err());
+        assert!(d.try_peek(9).is_ok());
     }
 }
 

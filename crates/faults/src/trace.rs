@@ -197,13 +197,9 @@ pub fn summarize(traces: &[TrialTrace], quick_threshold_ops: u64) -> Propagation
         .filter_map(|t| t.crash_latency_ops)
         .collect();
     latencies.sort_unstable();
-    let pick = |frac: f64| -> u64 {
-        if latencies.is_empty() {
-            0
-        } else {
-            latencies[(((latencies.len() - 1) as f64) * frac) as usize]
-        }
-    };
+    // Workspace percentile convention (floor on the inclusive index):
+    // this pick defined it, and `rio_det::stats` now owns it.
+    let pick = |frac: f64| -> u64 { rio_det::stats::percentile(&latencies, frac) };
     let crashed = latencies.len();
     let quick = latencies
         .iter()

@@ -17,6 +17,8 @@
 //!   `(seed, fault, system, attempt)` coordinate with [`rio_obs`] tracing
 //!   enabled and render a causal timeline from injection to the first
 //!   corrupted byte (or the protection trap that prevented one).
+//! * [`scale`] — the multi-client scale-out study: N scheduled clients ×
+//!   D striped devices, Rio vs write-through throughput.
 //! * [`ascii`] — plain-text table rendering shared by the report binaries.
 
 pub mod ascii;
@@ -24,6 +26,7 @@ pub mod explain;
 pub mod overhead;
 pub mod propagation;
 pub mod recovery;
+pub mod scale;
 pub mod table1;
 pub mod table2;
 
@@ -31,5 +34,9 @@ pub use explain::{explain_json, explain_trial, render_timeline, ExplainConfig, E
 pub use overhead::{run_overhead_study, OverheadReport};
 pub use propagation::{render_propagation, run_propagation, PropagationRow};
 pub use recovery::{render_recovery, run_recovery, RecoveryReport};
+pub use scale::{
+    render_scale, run_scale, run_scale_parallel, scale_json, ScaleCell, ScaleGrid,
+    ScaleGridReport,
+};
 pub use table1::{render_table1, run_table1, MttfEstimate, Table1Report};
 pub use table2::{render_table2, run_table2, Table2Report, Table2Row};

@@ -83,6 +83,15 @@ pub struct Clock {
     /// check penalty (§2.1 — patched checks pervade kernel code, not just
     /// the copy loops).
     patched: bool,
+    /// Deferred-wait mode (multi-client scheduling): synchronous disk
+    /// waits are *recorded* instead of advancing the clock, so the
+    /// scheduler can overlap one client's disk wait with another
+    /// client's CPU time. Off by default — single-client paths are
+    /// byte-identical to the pre-scheduler kernel.
+    deferred: bool,
+    /// Latest deferred wake-up time recorded since the last
+    /// [`Clock::take_deferred`].
+    deferred_until: Option<SimTime>,
     costs: CostModel,
 }
 
@@ -95,6 +104,8 @@ impl Clock {
             cpu_time: SimTime::ZERO,
             disk_wait: SimTime::ZERO,
             patched: false,
+            deferred: false,
+            deferred_until: None,
             costs,
         }
     }
@@ -189,7 +200,19 @@ impl Clock {
     }
 
     /// Blocks until `t` (synchronous disk wait); no-op if `t` has passed.
+    ///
+    /// In deferred-wait mode the clock does **not** advance: the wake-up
+    /// time is recorded for [`Clock::take_deferred`] so a scheduler can
+    /// block just this client and run another one in the meantime. The
+    /// wait is then not double-charged as global `disk_wait` — it
+    /// overlaps other clients' CPU time.
     pub fn wait_until(&mut self, t: SimTime) {
+        if self.deferred {
+            if t > self.now {
+                self.deferred_until = Some(self.deferred_until.map_or(t, |d| d.max(t)));
+            }
+            return;
+        }
         if t > self.now {
             self.disk_wait += t.saturating_sub(self.now);
             self.now = t;
@@ -197,8 +220,26 @@ impl Clock {
         }
     }
 
+    /// Switches deferred-wait mode on or off, clearing any pending
+    /// deferred wake-up.
+    pub fn set_deferred_waits(&mut self, on: bool) {
+        self.deferred = on;
+        self.deferred_until = None;
+    }
+
+    /// Takes the latest wake-up time recorded by a deferred
+    /// [`Clock::wait_until`], if any, resetting it.
+    pub fn take_deferred(&mut self) -> Option<SimTime> {
+        self.deferred_until.take()
+    }
+
     /// Advances the wall clock without charging CPU (idle time between
     /// workload phases).
+    ///
+    /// This is the raw *hardware* clock hop: no kernel daemon runs inside
+    /// the skipped gap. Workload code should call `Kernel::idle_until`
+    /// instead, which steps the `update`/idle-writeback/checkpoint
+    /// daemons at their due instants across the gap.
     pub fn idle_until(&mut self, t: SimTime) {
         if t > self.now {
             self.now = t;
@@ -251,6 +292,22 @@ mod tests {
         // Waiting for the past is free.
         c.wait_until(SimTime::from_micros(20));
         assert_eq!(c.now().as_micros(), 50);
+    }
+
+    #[test]
+    fn deferred_waits_record_instead_of_advancing() {
+        let mut c = Clock::new(CostModel::free());
+        c.set_deferred_waits(true);
+        c.wait_until(SimTime::from_micros(50));
+        c.wait_until(SimTime::from_micros(30)); // earlier: max wins
+        assert_eq!(c.now(), SimTime::ZERO, "deferred wait must not advance");
+        assert_eq!(c.disk_wait(), SimTime::ZERO);
+        assert_eq!(c.take_deferred(), Some(SimTime::from_micros(50)));
+        assert_eq!(c.take_deferred(), None, "take resets");
+        // Back to normal mode: waits advance again.
+        c.set_deferred_waits(false);
+        c.wait_until(SimTime::from_micros(10));
+        assert_eq!(c.now().as_micros(), 10);
     }
 
     #[test]

@@ -337,6 +337,10 @@ impl Kernel {
         let Some(limit) = self.policy.throttle_dirty_bytes else {
             return Ok(());
         };
+        // A striped array drains D queues in parallel, so the kernel can
+        // safely let proportionally more dirty data accumulate before
+        // stalling writers (×1 on the classic single-spindle disk).
+        let limit = limit * self.machine.disk.devices() as u64;
         let dirty = self.ubc.dirty_count() as u64 * PAGE_SIZE as u64;
         if dirty <= limit {
             return Ok(());

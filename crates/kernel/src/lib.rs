@@ -43,6 +43,7 @@ pub mod ondisk;
 pub mod path;
 pub mod policy;
 pub mod recovery;
+pub mod sched;
 pub mod syncops;
 pub mod syscalls;
 
@@ -58,4 +59,5 @@ pub use recovery::{
     BootInterrupted, BootReport, NoRecoveryFaults, RecoveryControl, RecoveryIoStats,
     RecoveryPoint, WarmBootError,
 };
+pub use sched::{run_clients, ClientStream, SchedTrace};
 pub use syscalls::Stat;

@@ -25,6 +25,10 @@ pub struct MachineConfig {
     pub disk_blocks: u64,
     /// Disk service model.
     pub disk_model: DiskModel,
+    /// Number of devices the block space is striped across (1 = the
+    /// classic single-spindle FIFO disk; >1 = a [`rio_disk::DiskArray`]
+    /// with per-device C-LOOK queues).
+    pub disk_devices: usize,
     /// Cost model.
     pub costs: CostModel,
 }
@@ -36,6 +40,7 @@ impl MachineConfig {
             mem: MemConfig::small(),
             disk_blocks: 2048,
             disk_model: DiskModel::paper_scsi(),
+            disk_devices: 1,
             costs: CostModel::paper(),
         }
     }
@@ -127,7 +132,7 @@ impl Machine {
             cpu: Cpu::new(),
             store,
             routines,
-            disk: SimDisk::new(config.disk_blocks, config.disk_model),
+            disk: SimDisk::new_striped(config.disk_blocks, config.disk_model, config.disk_devices),
             clock: Clock::new(config.costs),
             hooks: FaultHooks::none(),
             alloc,

@@ -104,6 +104,65 @@ impl Kernel {
         Ok(())
     }
 
+    /// Advances simulated time to `t`, running the background daemons at
+    /// the instants they fall due *inside* the gap.
+    ///
+    /// The per-syscall hooks (`maybe_update` / `maybe_idle_writeback` /
+    /// `maybe_checkpoint`) only run at syscall entry, so a workload that
+    /// idles via the raw [`crate::clock::Clock::idle_until`] produces no
+    /// trickle writeback until its *next* syscall — and a crash inside the
+    /// gap finds the dirty data still in memory, as if the daemons never
+    /// existed. This is the kernel-honest idle path: it steps through the
+    /// gap, firing each daemon at its due time, so an "idle gap then
+    /// crash" leaves exactly the disk image a periodically-scheduled
+    /// daemon would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Crashed`] once the system is down, or any daemon
+    /// flush error.
+    pub fn idle_until(&mut self, t: SimTime) -> Result<(), KernelError> {
+        if self.is_crashed() {
+            return Err(KernelError::Crashed);
+        }
+        loop {
+            // Fire everything due at the current instant first.
+            self.maybe_update()?;
+            self.maybe_idle_writeback()?;
+            self.maybe_checkpoint()?;
+            let now = self.machine.clock.now();
+            if now >= t {
+                break;
+            }
+            // Hop to the earliest daemon due-time strictly inside the gap.
+            let mut next = t;
+            if let Some(due) = self.next_update {
+                if due > now {
+                    next = next.min(due);
+                }
+            }
+            if let Some(due) = self.next_checkpoint {
+                if due > now {
+                    next = next.min(due);
+                }
+            }
+            if let Some(after) = self.policy.idle_writeback_after {
+                let has_dirty =
+                    self.ubc.dirty_count() > 0 || !self.bufcache.dirty_keys().is_empty();
+                if has_dirty {
+                    let due = self.machine.disk.idle_at(SimTime::ZERO) + after;
+                    if due > now {
+                        next = next.min(due);
+                    }
+                }
+            }
+            // `next > now` always holds (every candidate above is filtered
+            // on it and `t > now` here), so the loop strictly advances.
+            self.machine.clock.idle_until(next);
+        }
+        Ok(())
+    }
+
     /// Phoenix-style checkpoint (\[Gait90\], §6): walks every CHANGING file
     /// page, re-checksums it, and clears the flag — only now do the pages
     /// written since the previous checkpoint become recoverable. Charges a

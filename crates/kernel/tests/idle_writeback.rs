@@ -66,6 +66,65 @@ fn idle_writeback_saves_delayed_data_across_a_crash() {
 }
 
 #[test]
+fn idle_gap_then_crash_is_covered_by_kernel_idle_until() {
+    // The syscall-entry-only limitation, pinned: the trickle hook
+    // piggybacks on syscall entry, so a long idle gap with NO syscalls —
+    // advanced through the raw hardware clock — writes nothing back, and
+    // a crash at the end of the gap loses the delayed data even though
+    // the policy promised idle write-back.
+    let crash_after_gap = |kernel_honest: bool| {
+        let config = KernelConfig::small(delayed(Some(SimTime::from_secs(1))));
+        let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+        let fd = k.create("/gap").unwrap();
+        k.write(fd, &vec![0xAB; 16384]).unwrap();
+        k.close(fd).unwrap();
+        let wake = k.machine.clock.now() + SimTime::from_secs(30);
+        if kernel_honest {
+            // The fixed path: daemons fire at their due instants.
+            k.idle_until(wake).unwrap();
+        } else {
+            // The raw hardware clock: daemons never see the gap.
+            k.machine.clock.idle_until(wake);
+        }
+        k.crash_now(PanicReason::Watchdog);
+        let (_image, disk) = k.into_crash_artifacts();
+        let (mut cold, _) = Kernel::cold_boot(&config, disk).unwrap();
+        cold.file_contents("/gap").map(|d| d.len()).unwrap_or(0)
+    };
+    assert_eq!(
+        crash_after_gap(false),
+        0,
+        "raw clock idle: no syscall, no trickle, data lost at the crash"
+    );
+    assert_eq!(
+        crash_after_gap(true),
+        16384,
+        "Kernel::idle_until runs the trickle inside the gap before the crash"
+    );
+}
+
+#[test]
+fn kernel_idle_until_runs_update_daemon_on_schedule() {
+    // The update daemon too: a 30 s update interval inside a 2-minute
+    // gap must flush, even with no syscalls at all.
+    let mut policy = delayed(None);
+    policy.update_interval = Some(SimTime::from_secs(30));
+    let config = KernelConfig::small(policy);
+    let mut k = Kernel::mkfs_and_mount(&config).unwrap();
+    let fd = k.create("/upd").unwrap();
+    k.write(fd, &vec![0x5C; 8192]).unwrap();
+    k.close(fd).unwrap();
+    let writes_before = k.machine.disk.stats().writes;
+    let wake = k.machine.clock.now() + SimTime::from_secs(120);
+    k.idle_until(wake).unwrap();
+    assert!(
+        k.machine.disk.stats().writes > writes_before,
+        "update daemon must have flushed inside the gap"
+    );
+    assert!(k.machine.clock.now() >= wake, "clock reached the target");
+}
+
+#[test]
 fn idle_writeback_never_blocks_the_writer() {
     // Writes complete at memory speed whether or not the trickle runs.
     let run = |policy: Policy| {

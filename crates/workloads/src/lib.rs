@@ -10,6 +10,8 @@
 //!   I/O-intensive column).
 //! * [`sdet`] — SPEC SDM's multi-user software-development workload,
 //!   modeled as interleaved per-user scripts.
+//! * [`scale`] — the N-client server workload (Sdet mix + debit-credit
+//!   commits) driven by the kernel's deterministic process scheduler.
 //!
 //! All workloads are seeded and deterministic: the same seed replays the
 //! same operations byte for byte, which is what makes post-crash
@@ -21,6 +23,7 @@ pub mod datagen;
 pub mod debitcredit;
 pub mod memtest;
 pub mod model;
+pub mod scale;
 pub mod sdet;
 
 pub use andrew::{Andrew, AndrewConfig, AndrewReport};
@@ -28,4 +31,5 @@ pub use cprm::{CpRm, CpRmConfig, CpRmReport};
 pub use debitcredit::{DebitCredit, DebitCreditConfig, DebitCreditReport};
 pub use memtest::{MemTest, MemTestConfig};
 pub use model::{ModelFs, VerifyReport};
+pub use scale::{Scale, ScaleConfig, ScaleReport};
 pub use sdet::{Sdet, SdetConfig, SdetReport};

@@ -41,6 +41,18 @@ cmp "$exp_a" "$exp_b"
 grep -q '^verdict' "$exp_a"
 rm -f "$exp_a" "$exp_b"
 
+echo "== scale-out determinism (RIO_THREADS=1 vs 8) =="
+sc_a="$(mktemp)"
+sc_b="$(mktemp)"
+sc_ja="$(mktemp)"
+sc_jb="$(mktemp)"
+RIO_THREADS=1 RIO_BENCH_JSON="$sc_ja" cargo run -q --release -p rio-bench --bin scale > "$sc_a"
+RIO_THREADS=8 RIO_BENCH_JSON="$sc_jb" cargo run -q --release -p rio-bench --bin scale > "$sc_b"
+cmp "$sc_a" "$sc_b"
+cmp "$sc_ja" "$sc_jb"
+grep -q 'Rio/WT' "$sc_a"
+rm -f "$sc_a" "$sc_b" "$sc_ja" "$sc_jb"
+
 echo "== smoke write benchmark (RIO_BENCH_ITERS=5) =="
 smoke_json="$(mktemp)"
 RIO_BENCH_ITERS=5 RIO_BENCH_WARMUP=1 RIO_BENCH_JSON="$smoke_json" \
