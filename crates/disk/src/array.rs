@@ -57,6 +57,9 @@ struct Req {
     start: SimTime,
     /// Scheduled completion.
     end: SimTime,
+    /// The submitter observed completion (`biowait`): the crash model
+    /// applies this write fully (see [`crate::SimDisk::harden_until`]).
+    hardened: bool,
 }
 
 /// One device: a queue in dispatch order plus the head state left behind
@@ -183,6 +186,7 @@ impl DiskArray {
             force_sequential,
             start: SimTime::ZERO,
             end: SimTime::ZERO,
+            hardened: false,
         };
         self.devices[dev].insert_clook(req, block, now, model)
     }
@@ -218,22 +222,41 @@ impl DiskArray {
             force_sequential,
             start,
             end,
+            hardened: false,
         });
         d.barrier = d.queue.len();
         (pending, end)
     }
 
-    /// Crash at `now`: retires what completed, tears the per-device
-    /// in-flight write, and counts unstarted writes as lost. Returns
-    /// `(torn writes, lost count)`; queues are reset.
-    pub fn crash(&mut self, now: SimTime) -> (Vec<TornWrite>, u64) {
+    /// Marks every queued write completing by `t` as observed-complete by
+    /// the kernel (see [`crate::SimDisk::harden_until`]).
+    pub fn harden_until(&mut self, t: SimTime) {
+        for dev in &mut self.devices {
+            for r in dev
+                .queue
+                .iter_mut()
+                .filter(|r| r.data.is_some() && r.end <= t)
+            {
+                r.hardened = true;
+            }
+        }
+    }
+
+    /// Crash at `now`: retires what completed, applies hardened writes
+    /// fully, tears the per-device in-flight write, and counts unstarted
+    /// writes as lost. Returns `(hardened writes, torn writes, lost
+    /// count)`; queues are reset.
+    pub fn crash(&mut self, now: SimTime) -> (Vec<RetiredWrite>, Vec<TornWrite>, u64) {
         let _ = self.retire(now);
+        let mut hardened = Vec::new();
         let mut torn = Vec::new();
         let mut lost = 0u64;
         for dev in &mut self.devices {
             while let Some(r) = dev.queue.pop_front() {
                 let Some(data) = r.data else { continue };
-                if r.start < now && now < r.end {
+                if r.hardened {
+                    hardened.push((r.global, data));
+                } else if r.start < now && now < r.end {
                     torn.push((r.global, data));
                 } else {
                     lost += 1;
@@ -241,7 +264,7 @@ impl DiskArray {
             }
             *dev = Device::default();
         }
-        (torn, lost)
+        (hardened, torn, lost)
     }
 
 }
@@ -398,10 +421,27 @@ mod tests {
         a.submit_write(1, block_of(3), SimTime::ZERO, false, &model()); // device 1
         // Crash mid-way through device 0's second request; device 1's
         // single request (same duration as device 0's first) is durable.
-        let (torn, lost) = a.crash(first + SimTime::from_micros(1));
+        let (hardened, torn, lost) = a.crash(first + SimTime::from_micros(1));
+        assert!(hardened.is_empty(), "nothing was waited on");
         assert_eq!(torn.len(), 1, "device 0's in-flight write tears");
         assert_eq!(torn[0].0, 2);
         assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn hardened_writes_survive_a_crash_intact() {
+        let mut a = DiskArray::new(2);
+        let e0 = a.submit_write(0, block_of(1), SimTime::ZERO, false, &model());
+        a.submit_write(2, block_of(2), SimTime::ZERO, false, &model());
+        a.harden_until(e0);
+        // Crash before anything starts: block 0's write was observed
+        // complete by the kernel, block 2's (ending later) was not.
+        let (hardened, torn, lost) = a.crash(SimTime::ZERO);
+        assert_eq!(hardened.len(), 1);
+        assert_eq!(hardened[0].0, 0);
+        assert_eq!(hardened[0].1, block_of(1));
+        assert!(torn.is_empty());
+        assert_eq!(lost, 1, "the unwaited write is still lost");
     }
 
     #[test]

@@ -53,6 +53,10 @@ struct PendingWrite {
     start: SimTime,
     /// When the request is durable.
     end: SimTime,
+    /// The submitter observed this write's completion (a `biowait`): the
+    /// crash model must treat it as durable even if the global clock has
+    /// not yet reached `end` (see [`SimDisk::harden_until`]).
+    hardened: bool,
 }
 
 /// Operation counters.
@@ -286,7 +290,7 @@ impl SimDisk {
         self.last_block = Some(block);
         self.stats.writes += 1;
         self.stats.bytes_written += BLOCK_SIZE as u64;
-        self.pending.push_back(PendingWrite { block, data, start, end });
+        self.pending.push_back(PendingWrite { block, data, start, end, hardened: false });
         if rio_obs::is_enabled() {
             rio_obs::histogram_record("disk.queue_depth", self.queue_depth_at(now) as u64);
         }
@@ -371,9 +375,35 @@ impl SimDisk {
         done
     }
 
+    /// Marks every pending write completing by `t` as observed-complete:
+    /// the kernel slept in a `biowait` that returned at `t`, so the platter
+    /// holds everything that finished first.
+    ///
+    /// Under the preemptive scheduler the clock runs in deferred-wait mode:
+    /// `wait_until` records a wake instead of advancing global time, so a
+    /// crash can land at a global instant *before* a write the kernel
+    /// already waited on. A real kernel blocked in `biowait` cannot execute
+    /// past the completion interrupt — any crash that catches it past the
+    /// wait implies every write complete by `t` is durable. `harden_until`
+    /// encodes that: [`SimDisk::crash`] applies hardened writes in queue
+    /// order instead of tearing or losing them. Timing is untouched (the
+    /// request still occupies head time and retires normally), and under
+    /// non-deferred execution this is exactly the set a crash-time
+    /// `apply_completed` would apply anyway — a behavioral no-op there.
+    pub fn harden_until(&mut self, t: SimTime) {
+        if let Some(array) = self.array.as_mut() {
+            array.harden_until(t);
+            return;
+        }
+        for w in self.pending.iter_mut().filter(|w| w.end <= t) {
+            w.hardened = true;
+        }
+    }
+
     /// Crashes the system at time `now`.
     ///
-    /// * Writes already durable stay.
+    /// * Writes already durable stay, as do writes the kernel observed as
+    ///   complete ([`SimDisk::harden`]).
     /// * The write in flight (started, not finished) leaves a **torn block**:
     ///   the first half of the new data lands, the second half keeps the old
     ///   contents, and the block is flagged torn.
@@ -381,8 +411,13 @@ impl SimDisk {
     pub fn crash(&mut self, now: SimTime) {
         if let Some(array) = self.array.as_mut() {
             let retired = array.retire(now);
-            let (torn, lost) = array.crash(now);
+            let (hardened, torn, lost) = array.crash(now);
             self.apply_retired(retired);
+            // Hardened requests complete no later than the waited instant;
+            // an in-flight (torn) request ends after it, so per device —
+            // and therefore per block — the tear is the later write and
+            // must land after the hardened applications.
+            self.apply_retired(hardened);
             for (block, data) in torn {
                 let half = BLOCK_SIZE / 2;
                 self.blocks[block as usize][..half].copy_from_slice(&data[..half]);
@@ -395,6 +430,12 @@ impl SimDisk {
         }
         self.apply_completed(now);
         while let Some(w) = self.pending.pop_front() {
+            if w.hardened {
+                let old = std::mem::replace(&mut self.blocks[w.block as usize], w.data);
+                self.free.push(old);
+                self.torn[w.block as usize] = false;
+                continue;
+            }
             if w.start < now && now < w.end {
                 let half = BLOCK_SIZE / 2;
                 self.blocks[w.block as usize][..half].copy_from_slice(&w.data[..half]);

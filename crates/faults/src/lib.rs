@@ -20,6 +20,7 @@
 pub mod campaign;
 pub mod inject;
 pub mod recovery;
+pub mod scale_campaign;
 pub mod trace;
 
 pub use campaign::{run_campaign_parallel,
@@ -31,5 +32,10 @@ pub use recovery::{
     recovery_trial_seed, run_recovery_campaign, run_recovery_campaign_parallel,
     run_recovery_trial, run_recovery_trial_caught, RecoveryCampaignConfig,
     RecoveryCampaignResult, RecoveryCellResult, RecoveryScenario, RecoveryTrialOutcome,
+};
+pub use scale_campaign::{
+    run_scale_campaign, run_scale_campaign_parallel, run_scale_trial, run_scale_trial_caught,
+    scale_kernel_config, scale_trial_seed, ScaleCampaignConfig, ScaleCampaignResult,
+    ScaleCellResult, ScaleCrash, ScaleTrialOutcome,
 };
 pub use trace::{run_traced_trial, summarize, DetectionChannel, PropagationSummary, TrialTrace};

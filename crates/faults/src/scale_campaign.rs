@@ -1,0 +1,797 @@
+//! The multi-client scale campaign: Table 1 crashed under load.
+//!
+//! The paper's Table 1 was measured on a kernel where real processes had
+//! half-finished syscall state at every crash; the single-client campaign
+//! ([`crate::campaign`]) injects between whole memTest ops, when the
+//! kernel is quiescent. This campaign replays the Table 1 grid with N ∈
+//! {1, 16, 64} memTest clients driven by the *preemptive* scheduler
+//! ([`rio_kernel::PreemptSched`]): faults are injected while clients sit
+//! parked mid-syscall — staging buffers live in the heap, registry
+//! entries are CHANGING, locks are held across yields — and the crash
+//! examination attributes every damaged file to the client that owned it,
+//! so corruption that crosses client boundaries is visible as such.
+//!
+//! Every trial owns its whole simulated machine and every decision is a
+//! pure function of the trial seed, so the grid runner parallelizes over
+//! trials with attempt-order merging and produces byte-identical results
+//! at any `RIO_THREADS`.
+
+use crate::campaign::{lock_tolerant, panic_message, SystemKind};
+use crate::inject::{inject, FaultType};
+use rio_det::{derive_seed, derive_seed3, DetRng};
+use rio_kernel::{
+    DiskGeometry, Kernel, KernelConfig, KernelError, PreemptClient, PreemptSched,
+    SchedStep,
+};
+use rio_workloads::{MemTest, MemTestConfig, PreemptMemTest};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Scale-campaign parameters.
+#[derive(Debug, Clone)]
+pub struct ScaleCampaignConfig {
+    /// Crashed runs to collect per (fault, system, clients) cell.
+    pub trials_per_cell: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Logical memTest ops *per client* before injection.
+    pub warmup_ops: u64,
+    /// Scheduler quanta allowed after injection before the run is
+    /// discarded (the watchdog; quanta, not ops, because under
+    /// preemption an op spans many quanta).
+    pub watchdog_quanta: u64,
+    /// Cap on attempts per crash collected.
+    pub max_attempts_factor: u64,
+    /// Client counts to sweep.
+    pub client_counts: Vec<usize>,
+}
+
+impl ScaleCampaignConfig {
+    /// A fast configuration for tests and CI.
+    pub fn quick(seed: u64) -> Self {
+        ScaleCampaignConfig {
+            trials_per_cell: 1,
+            seed,
+            warmup_ops: 6,
+            watchdog_quanta: 3_000,
+            max_attempts_factor: 4,
+            client_counts: vec![1, 4],
+        }
+    }
+
+    /// The committed-artifact scale: the Table 1 grid × {1, 16, 64}
+    /// clients.
+    pub fn paper(seed: u64) -> Self {
+        ScaleCampaignConfig {
+            trials_per_cell: 10,
+            seed,
+            warmup_ops: 8,
+            watchdog_quanta: 20_000,
+            max_attempts_factor: 6,
+            client_counts: vec![1, 16, 64],
+        }
+    }
+
+    fn max_attempts(&self) -> u64 {
+        self.trials_per_cell * self.max_attempts_factor
+    }
+}
+
+/// Kernel sizing for multi-client runs: the `small` machine with a
+/// larger disk/inode table (64 clients × live file sets) and a heap
+/// that can hold 64 concurrent staging buffers.
+pub fn scale_kernel_config(system: SystemKind) -> KernelConfig {
+    let mut cfg = KernelConfig::small(system.policy());
+    cfg.machine.disk_blocks = 4096;
+    cfg.machine.mem.heap_bytes = 2 * 1024 * 1024;
+    cfg.geometry = DiskGeometry::new(4096, 2048, 64);
+    cfg
+}
+
+/// Per-client memTest configuration: disjoint roots, a file set small
+/// enough that 64 clients fit the disk together.
+fn client_cfg(system: SystemKind, trial_seed: u64, c: usize) -> MemTestConfig {
+    MemTestConfig {
+        seed: derive_seed(trial_seed, 0xC11E_0000 + c as u64),
+        root: format!("/m{c}"),
+        max_set_bytes: 24 * 1024,
+        max_file_bytes: 8 * 1024,
+        fsync_every_write: system == SystemKind::DiskBased,
+        num_dirs: 2,
+        num_toggle_dirs: 2,
+    }
+}
+
+/// Seed for the shared static comparison files.
+fn static_seed(trial_seed: u64) -> u64 {
+    derive_seed(trial_seed, 0x57A7)
+}
+
+/// Provenance of one examined crash under multi-client load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleCrash {
+    /// Whether any file data was corrupted or lost.
+    pub corrupted: bool,
+    /// Total damaged files/directories (all clients + static set).
+    pub damage: usize,
+    /// Clients whose file sets were damaged.
+    pub damaged_clients: Vec<u32>,
+    /// The client whose quantum crashed the kernel (`None` if the crash
+    /// fired in an idle-gap daemon).
+    pub crashing_client: Option<u32>,
+    /// Damage reached a client other than the crasher, or the shared
+    /// static set — corruption crossed a process boundary.
+    pub cross_client: bool,
+    /// In-flight (parked mid-syscall) clients at injection time.
+    pub inflight_at_injection: usize,
+    /// Locks held across yields at injection time.
+    pub locks_held_at_injection: usize,
+    /// Preemptive lock acquisitions that contended, over the whole run.
+    pub locks_contended: u64,
+    /// Damaged static comparison pairs.
+    pub static_bad: u64,
+    /// Whether the warm-reboot CRC scan detected damage.
+    pub checksum_detected: bool,
+    /// Whether Rio's protection trapped the wild store.
+    pub protection_trap: bool,
+    /// Stable crash message.
+    pub message: String,
+}
+
+/// How one scale trial ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaleTrialOutcome {
+    /// Survived the watchdog budget: discarded.
+    NoCrash,
+    /// A client failed benignly (or setup/warm-up died): discarded.
+    Wedged,
+    /// Crashed and examined.
+    Crashed(ScaleCrash),
+}
+
+/// One cell of the scale grid after its trials.
+#[derive(Debug, Clone)]
+pub struct ScaleCellResult {
+    /// Fault type (row).
+    pub fault: FaultType,
+    /// System (column group).
+    pub system: SystemKind,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Runs that crashed.
+    pub crashes: u64,
+    /// Crashed runs with corrupted/lost file data.
+    pub corruptions: u64,
+    /// Corrupted runs where damage crossed a client boundary.
+    pub cross_client_corruptions: u64,
+    /// Runs discarded.
+    pub discarded: u64,
+    /// Crashes where protection trapped the store.
+    pub protection_traps: u64,
+    /// Sum over crashed runs of in-flight syscalls at injection.
+    pub inflight_sum: u64,
+    /// Sum over crashed runs of locks held across yields at injection.
+    pub locks_held_sum: u64,
+    /// Sum over crashed runs of contended lock acquisitions.
+    pub contended_sum: u64,
+    /// Sum over crashed runs of damaged-client counts.
+    pub damaged_clients_sum: u64,
+    /// Distinct crash messages seen.
+    pub messages: BTreeSet<String>,
+}
+
+impl ScaleCellResult {
+    fn empty(fault: FaultType, system: SystemKind, clients: usize) -> ScaleCellResult {
+        ScaleCellResult {
+            fault,
+            system,
+            clients,
+            crashes: 0,
+            corruptions: 0,
+            cross_client_corruptions: 0,
+            discarded: 0,
+            protection_traps: 0,
+            inflight_sum: 0,
+            locks_held_sum: 0,
+            contended_sum: 0,
+            damaged_clients_sum: 0,
+            messages: BTreeSet::new(),
+        }
+    }
+
+    fn absorb(&mut self, outcome: ScaleTrialOutcome) {
+        match outcome {
+            ScaleTrialOutcome::NoCrash | ScaleTrialOutcome::Wedged => self.discarded += 1,
+            ScaleTrialOutcome::Crashed(c) => {
+                self.crashes += 1;
+                if c.corrupted {
+                    self.corruptions += 1;
+                    if c.cross_client {
+                        self.cross_client_corruptions += 1;
+                    }
+                }
+                if c.protection_trap {
+                    self.protection_traps += 1;
+                }
+                self.inflight_sum += c.inflight_at_injection as u64;
+                self.locks_held_sum += c.locks_held_at_injection as u64;
+                self.contended_sum += c.locks_contended;
+                self.damaged_clients_sum += c.damaged_clients.len() as u64;
+                self.messages.insert(c.message);
+            }
+        }
+    }
+}
+
+/// The full scale-campaign result.
+#[derive(Debug, Clone)]
+pub struct ScaleCampaignResult {
+    /// One cell per (fault, system, clients), row-major in that order.
+    pub cells: Vec<ScaleCellResult>,
+    /// Target crashes per cell.
+    pub trials_per_cell: u64,
+    /// The swept client counts.
+    pub client_counts: Vec<usize>,
+}
+
+impl ScaleCampaignResult {
+    /// Total crashes for (system, clients) across fault types.
+    pub fn total_crashes(&self, system: SystemKind, clients: usize) -> u64 {
+        self.select(system, clients).map(|c| c.crashes).sum()
+    }
+
+    /// Total corruptions for (system, clients).
+    pub fn total_corruptions(&self, system: SystemKind, clients: usize) -> u64 {
+        self.select(system, clients).map(|c| c.corruptions).sum()
+    }
+
+    /// Total cross-client corruptions for (system, clients).
+    pub fn total_cross_client(&self, system: SystemKind, clients: usize) -> u64 {
+        self.select(system, clients)
+            .map(|c| c.cross_client_corruptions)
+            .sum()
+    }
+
+    fn select(
+        &self,
+        system: SystemKind,
+        clients: usize,
+    ) -> impl Iterator<Item = &ScaleCellResult> {
+        self.cells
+            .iter()
+            .filter(move |c| c.system == system && c.clients == clients)
+    }
+}
+
+/// The seed of one scale trial: a pure function of the campaign seed and
+/// the trial's grid coordinates (fault, system, clients, attempt).
+pub fn scale_trial_seed(
+    campaign_seed: u64,
+    fault: FaultType,
+    system: SystemKind,
+    clients: usize,
+    attempt: u64,
+) -> u64 {
+    derive_seed3(
+        derive_seed(campaign_seed, clients as u64),
+        fault as u64,
+        system as u64,
+        attempt,
+    )
+}
+
+/// Runs one scale trial: boot, warm up N preemptive clients, inject
+/// while syscalls are in flight, run to crash, reboot, and attribute
+/// every damaged file to its owning client.
+pub fn run_scale_trial(
+    system: SystemKind,
+    fault: FaultType,
+    nclients: usize,
+    seed: u64,
+    warmup_ops: u64,
+    watchdog_quanta: u64,
+) -> ScaleTrialOutcome {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let config = scale_kernel_config(system);
+    let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
+        return ScaleTrialOutcome::Wedged;
+    };
+    let cfgs: Vec<MemTestConfig> = (0..nclients).map(|c| client_cfg(system, seed, c)).collect();
+    let mut pms: Vec<PreemptMemTest> = cfgs
+        .iter()
+        .map(|c| PreemptMemTest::new(c.clone(), u64::MAX))
+        .collect();
+    if MemTest::setup_static(&mut k, static_seed(seed)).is_err() {
+        return ScaleTrialOutcome::Wedged;
+    }
+    for pm in &mut pms {
+        if pm.setup_skeleton(&mut k).is_err() {
+            return ScaleTrialOutcome::Wedged;
+        }
+    }
+    // Invariant checks stay off: the injected faults legitimately
+    // desynchronize lock words from the owner table.
+    let mut sched = PreemptSched::new(nclients, seed, false);
+
+    // Warm-up: run until every client has `warmup_ops` logical ops done.
+    // A crash or a benign failure here is not a trial.
+    let warmup_cap = watchdog_quanta.saturating_mul(4).max(200_000);
+    let mut warm_quanta = 0u64;
+    while pms.iter().any(|p| p.ops_done() < warmup_ops) {
+        if pms.iter().any(PreemptMemTest::failed) || warm_quanta >= warmup_cap {
+            return ScaleTrialOutcome::Wedged;
+        }
+        let mut clients: Vec<&mut dyn PreemptClient> = pms
+            .iter_mut()
+            .map(|p| p as &mut dyn PreemptClient)
+            .collect();
+        match sched.step_once(&mut k, &mut clients) {
+            Ok(SchedStep::Done) => return ScaleTrialOutcome::Wedged,
+            Ok(_) => {}
+            Err(_) => return ScaleTrialOutcome::Wedged,
+        }
+        warm_quanta += 1;
+    }
+
+    // Inject with syscall state genuinely in flight.
+    let inflight_at_injection = sched.in_flight();
+    let locks_held_at_injection: usize =
+        (0..nclients).map(|c| sched.held_locks(c).len()).sum();
+    inject(&mut k, fault, &mut rng);
+
+    // Run until crash or watchdog.
+    let mut crashed = false;
+    let mut crashing_client = None;
+    for _ in 0..watchdog_quanta {
+        if pms.iter().any(PreemptMemTest::failed) {
+            return ScaleTrialOutcome::Wedged;
+        }
+        let before = sched.trace.quanta.len();
+        let mut clients: Vec<&mut dyn PreemptClient> = pms
+            .iter_mut()
+            .map(|p| p as &mut dyn PreemptClient)
+            .collect();
+        match sched.step_once(&mut k, &mut clients) {
+            Ok(SchedStep::Done) => return ScaleTrialOutcome::Wedged,
+            Ok(_) => {}
+            Err(KernelError::Panic(_) | KernelError::Crashed) => {
+                crashed = true;
+                // The quantum that crashed was recorded before the error
+                // propagated; if none was, the crash fired in an
+                // idle-gap daemon.
+                crashing_client = (sched.trace.quanta.len() > before)
+                    .then(|| sched.trace.quanta[before]);
+                break;
+            }
+            Err(_) => return ScaleTrialOutcome::Wedged,
+        }
+    }
+    if !crashed {
+        return ScaleTrialOutcome::NoCrash;
+    }
+
+    let info = k.crash_info().expect("crashed").clone();
+    let message = info.reason.message();
+    let protection_trap = info.reason.is_protection_trap();
+    let locks_contended = k.stats().locks_contended;
+    let ops: Vec<u64> = pms.iter().map(PreemptMemTest::ops_done).collect();
+
+    let all_damaged = |checksum_detected: bool| {
+        ScaleTrialOutcome::Crashed(ScaleCrash {
+            corrupted: true,
+            damage: usize::MAX,
+            damaged_clients: (0..nclients as u32).collect(),
+            crashing_client,
+            cross_client: true,
+            inflight_at_injection,
+            locks_held_at_injection,
+            locks_contended,
+            static_bad: 6,
+            checksum_detected,
+            protection_trap,
+            message: message.clone(),
+        })
+    };
+
+    // Reboot per §3.2: cold boot + fsck for the disk-based system, warm
+    // reboot for Rio.
+    let (image, disk) = k.into_crash_artifacts();
+    let (mut k2, checksum_detected) = match system {
+        SystemKind::DiskBased => match Kernel::cold_boot(&config, disk) {
+            Ok((k2, _report)) => (k2, false),
+            Err(_) => return all_damaged(false),
+        },
+        _ => match Kernel::warm_boot(&config, &image, disk) {
+            Ok((k2, report)) => {
+                let warm = report.warm.expect("warm boot stats");
+                (k2, warm.dropped_bad_crc > 0)
+            }
+            Err(_) => return all_damaged(false),
+        },
+    };
+
+    // Per-client replay and verification: reconstruct each client's
+    // expected state at its own completed-op count, skipping its
+    // in-flight target.
+    let mut damage = 0usize;
+    let mut damaged_clients = Vec::new();
+    for (c, cfg) in cfgs.iter().enumerate() {
+        let (expected, next_target) = MemTest::replay(cfg, ops[c]);
+        match expected.verify(&mut k2, Some(next_target.as_str())) {
+            Ok(v) => {
+                let d = v.damage_count();
+                if d > 0 {
+                    damage += d;
+                    damaged_clients.push(c as u32);
+                }
+            }
+            Err(_) => {
+                // The rebooted system crashed while reading this
+                // client's files: total loss.
+                return all_damaged(checksum_detected);
+            }
+        }
+    }
+    let static_bad = MemTest::check_static(&mut k2, static_seed(seed)).unwrap_or(6);
+    damage += static_bad as usize;
+    let cross_client = static_bad > 0
+        || damaged_clients
+            .iter()
+            .any(|&c| crashing_client != Some(c));
+    ScaleTrialOutcome::Crashed(ScaleCrash {
+        corrupted: damage > 0,
+        damage,
+        damaged_clients,
+        crashing_client,
+        cross_client,
+        inflight_at_injection,
+        locks_held_at_injection,
+        locks_contended,
+        static_bad,
+        checksum_detected,
+        protection_trap,
+        message,
+    })
+}
+
+/// [`run_scale_trial`] behind the same panic firewall as the
+/// single-client campaign.
+pub fn run_scale_trial_caught(
+    system: SystemKind,
+    fault: FaultType,
+    nclients: usize,
+    seed: u64,
+    warmup_ops: u64,
+    watchdog_quanta: u64,
+) -> ScaleTrialOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_scale_trial(system, fault, nclients, seed, warmup_ops, watchdog_quanta)
+    }))
+    .unwrap_or_else(|payload| {
+        let text = format!("harness panic: {}", panic_message(payload.as_ref()));
+        ScaleTrialOutcome::Crashed(ScaleCrash {
+            corrupted: true,
+            damage: usize::MAX,
+            damaged_clients: (0..nclients as u32).collect(),
+            crashing_client: None,
+            cross_client: true,
+            inflight_at_injection: 0,
+            locks_held_at_injection: 0,
+            locks_contended: 0,
+            static_bad: 0,
+            checksum_detected: false,
+            protection_trap: false,
+            message: text,
+        })
+    })
+}
+
+/// The scale grid, row-major in (clients, fault, system) order — one
+/// full Table 1 grid per client count.
+fn scale_grid(cfg: &ScaleCampaignConfig) -> Vec<(FaultType, SystemKind, usize)> {
+    cfg.client_counts
+        .iter()
+        .flat_map(|&n| {
+            FaultType::ALL.iter().flat_map(move |&f| {
+                SystemKind::ALL.iter().map(move |&s| (f, s, n))
+            })
+        })
+        .collect()
+}
+
+/// Runs the scale campaign serially. [`run_scale_campaign_parallel`]
+/// produces identical results faster.
+pub fn run_scale_campaign(
+    cfg: &ScaleCampaignConfig,
+    mut progress: impl FnMut(&ScaleCellResult),
+) -> ScaleCampaignResult {
+    let mut cells = Vec::new();
+    for (fault, system, clients) in scale_grid(cfg) {
+        let mut cell = ScaleCellResult::empty(fault, system, clients);
+        let mut attempt = 0u64;
+        while cell.crashes < cfg.trials_per_cell && attempt < cfg.max_attempts() {
+            let seed = scale_trial_seed(cfg.seed, fault, system, clients, attempt);
+            attempt += 1;
+            cell.absorb(run_scale_trial_caught(
+                system,
+                fault,
+                clients,
+                seed,
+                cfg.warmup_ops,
+                cfg.watchdog_quanta,
+            ));
+        }
+        progress(&cell);
+        cells.push(cell);
+    }
+    ScaleCampaignResult {
+        cells,
+        trials_per_cell: cfg.trials_per_cell,
+        client_counts: cfg.client_counts.clone(),
+    }
+}
+
+/// Per-cell bookkeeping inside the parallel scheduler — same
+/// attempt-order merge discipline as the single-client campaign's
+/// scheduler, over the three-axis grid.
+struct CellState {
+    fault: FaultType,
+    system: SystemKind,
+    clients: usize,
+    cell: ScaleCellResult,
+    issued: u64,
+    merged: u64,
+    parked: BTreeMap<u64, ScaleTrialOutcome>,
+    done: bool,
+}
+
+impl CellState {
+    fn drain_merges(&mut self, cfg: &ScaleCampaignConfig) {
+        while !self.done {
+            let Some(outcome) = self.parked.remove(&self.merged) else {
+                break;
+            };
+            self.merged += 1;
+            self.cell.absorb(outcome);
+            if self.cell.crashes >= cfg.trials_per_cell || self.merged >= cfg.max_attempts() {
+                self.done = true;
+                self.parked.clear();
+            }
+        }
+    }
+}
+
+struct Scheduler {
+    cells: Vec<CellState>,
+    cursor: usize,
+    unfinished: usize,
+    window: u64,
+}
+
+impl Scheduler {
+    fn new(cfg: &ScaleCampaignConfig, threads: usize) -> Scheduler {
+        let cells: Vec<CellState> = scale_grid(cfg)
+            .into_iter()
+            .map(|(fault, system, clients)| CellState {
+                fault,
+                system,
+                clients,
+                cell: ScaleCellResult::empty(fault, system, clients),
+                issued: 0,
+                merged: 0,
+                parked: BTreeMap::new(),
+                done: false,
+            })
+            .collect();
+        let unfinished = cells.len();
+        Scheduler {
+            cells,
+            cursor: 0,
+            unfinished,
+            window: (threads as u64).max(2) * 2,
+        }
+    }
+
+    fn next_task(&mut self, cfg: &ScaleCampaignConfig) -> Option<(usize, u64)> {
+        let n = self.cells.len();
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            let c = &mut self.cells[i];
+            if c.done || c.issued >= cfg.max_attempts() || c.issued - c.merged >= self.window {
+                continue;
+            }
+            let attempt = c.issued;
+            c.issued += 1;
+            self.cursor = (i + 1) % n;
+            return Some((i, attempt));
+        }
+        None
+    }
+
+    fn complete(
+        &mut self,
+        idx: usize,
+        attempt: u64,
+        outcome: ScaleTrialOutcome,
+        cfg: &ScaleCampaignConfig,
+    ) {
+        let c = &mut self.cells[idx];
+        if c.done {
+            return;
+        }
+        c.parked.insert(attempt, outcome);
+        let was_done = c.done;
+        c.drain_merges(cfg);
+        if !c.done && c.merged >= cfg.max_attempts() {
+            c.done = true;
+        }
+        if c.done && !was_done {
+            self.unfinished -= 1;
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    fn into_result(self, cfg: &ScaleCampaignConfig) -> ScaleCampaignResult {
+        ScaleCampaignResult {
+            cells: self.cells.into_iter().map(|c| c.cell).collect(),
+            trials_per_cell: cfg.trials_per_cell,
+            client_counts: cfg.client_counts.clone(),
+        }
+    }
+}
+
+/// Runs the scale campaign with trials distributed over `threads`
+/// workers. Byte-identical to [`run_scale_campaign`] at any thread
+/// count: seeds are pure functions of coordinates, outcomes merge in
+/// attempt order under the serial stopping rule.
+pub fn run_scale_campaign_parallel(
+    cfg: &ScaleCampaignConfig,
+    threads: usize,
+) -> ScaleCampaignResult {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return run_scale_campaign(cfg, |_| {});
+    }
+    let state = Mutex::new(Scheduler::new(cfg, threads));
+    let wake = Condvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut s = lock_tolerant(&state);
+                    loop {
+                        if s.all_done() {
+                            break None;
+                        }
+                        match s.next_task(cfg) {
+                            Some(t) => break Some(t),
+                            None => {
+                                s = wake.wait(s).unwrap_or_else(PoisonError::into_inner);
+                            }
+                        }
+                    }
+                };
+                let Some((idx, attempt)) = task else {
+                    wake.notify_all();
+                    break;
+                };
+                let (fault, system, clients) = {
+                    let s = lock_tolerant(&state);
+                    (
+                        s.cells[idx].fault,
+                        s.cells[idx].system,
+                        s.cells[idx].clients,
+                    )
+                };
+                let seed = scale_trial_seed(cfg.seed, fault, system, clients, attempt);
+                let outcome = run_scale_trial_caught(
+                    system,
+                    fault,
+                    clients,
+                    seed,
+                    cfg.warmup_ops,
+                    cfg.watchdog_quanta,
+                );
+                let mut s = lock_tolerant(&state);
+                s.complete(idx, attempt, outcome, cfg);
+                drop(s);
+                wake.notify_all();
+            });
+        }
+    });
+    state
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_result(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_trial_seeds_depend_on_every_coordinate() {
+        let s = scale_trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 16, 3);
+        assert_eq!(
+            s,
+            scale_trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 16, 3)
+        );
+        assert_ne!(
+            s,
+            scale_trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 64, 3)
+        );
+        assert_ne!(
+            s,
+            scale_trial_seed(1996, FaultType::Pointer, SystemKind::DiskBased, 16, 4)
+        );
+    }
+
+    #[test]
+    fn copy_overrun_scale_trial_crashes_and_examines() {
+        // The heaviest fault type must produce an examined multi-client
+        // crash within a few attempts on each system.
+        for system in SystemKind::ALL {
+            let mut got = None;
+            for seed in 0..8 {
+                if let ScaleTrialOutcome::Crashed(c) =
+                    run_scale_trial(system, FaultType::CopyOverrun, 4, seed, 5, 4_000)
+                {
+                    got = Some(c);
+                    break;
+                }
+            }
+            let c = got.unwrap_or_else(|| panic!("no crash for {system}"));
+            assert!(!c.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn scale_trials_are_deterministic() {
+        let a = run_scale_trial(
+            SystemKind::RioWithProtection,
+            FaultType::KernelHeap,
+            4,
+            21,
+            5,
+            2_000,
+        );
+        let b = run_scale_trial(
+            SystemKind::RioWithProtection,
+            FaultType::KernelHeap,
+            4,
+            21,
+            5,
+            2_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_scale_campaign_matches_serial_exactly() {
+        let cfg = ScaleCampaignConfig {
+            trials_per_cell: 1,
+            seed: 13,
+            warmup_ops: 4,
+            watchdog_quanta: 1_200,
+            max_attempts_factor: 2,
+            client_counts: vec![2],
+        };
+        let serial = run_scale_campaign(&cfg, |_| {});
+        let parallel = run_scale_campaign_parallel(&cfg, 4);
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.clients, b.clients);
+            assert_eq!(a.crashes, b.crashes, "{} / {}", a.fault, a.system);
+            assert_eq!(a.corruptions, b.corruptions);
+            assert_eq!(a.cross_client_corruptions, b.cross_client_corruptions);
+            assert_eq!(a.discarded, b.discarded);
+            assert_eq!(a.messages, b.messages);
+        }
+    }
+}

@@ -339,6 +339,12 @@ fn payload_str(e: &Event) -> String {
         (EventCategory::DiskRetry, Payload::Block { block, aux }) => {
             format!("block={block} remaining={aux}")
         }
+        (EventCategory::LockContended, Payload::Addr { addr, aux }) => {
+            let lock = rio_kernel::LockId::ALL
+                .get(addr as usize)
+                .map_or("?", |l| l.name());
+            format!("lock={lock} client={aux}")
+        }
         (EventCategory::TrialVerdict, Payload::Count { value }) => {
             let v = match value {
                 0 => "no_crash",

@@ -4,6 +4,10 @@
 //! * [`table1`] — the reliability comparison (§3.3): 13 fault types × 3
 //!   systems, corruptions per 50 crashes, plus protection-trap saves, the
 //!   unique-crash-message count, and the MTTF illustration.
+//! * [`table1_scale`] — Table 1 under multi-client load: the same grid
+//!   crashed at N ∈ {1, 16, 64} preemptive clients with syscalls in
+//!   flight, plus per-client corruption provenance (confined vs
+//!   cross-client damage).
 //! * [`table2`] — the performance comparison (§4): cp+rm / Sdet / Andrew
 //!   across the eight file-system configurations, with the paper's
 //!   headline ratios computed alongside.
@@ -28,6 +32,7 @@ pub mod propagation;
 pub mod recovery;
 pub mod scale;
 pub mod table1;
+pub mod table1_scale;
 pub mod table2;
 
 pub use explain::{explain_json, explain_trial, render_timeline, ExplainConfig, ExplainReport};
@@ -39,4 +44,7 @@ pub use scale::{
     ScaleGridReport,
 };
 pub use table1::{render_table1, run_table1, MttfEstimate, Table1Report};
+pub use table1_scale::{
+    render_table1_scale, run_table1_scale, ScaleBandCheck, Table1ScaleReport,
+};
 pub use table2::{render_table2, run_table2, Table2Report, Table2Row};

@@ -233,6 +233,15 @@ impl Clock {
         self.deferred_until.take()
     }
 
+    /// Whether a deferred wake-up is pending, without consuming it.
+    ///
+    /// Continuation phase machines use this to decide mid-phase whether
+    /// the work they just did hit a block point (and they should yield)
+    /// without disturbing the recorded wake-up the scheduler will take.
+    pub fn deferred_pending(&self) -> bool {
+        self.deferred_until.is_some()
+    }
+
     /// Advances the wall clock without charging CPU (idle time between
     /// workload phases).
     ///

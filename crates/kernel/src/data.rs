@@ -16,6 +16,35 @@ use rio_core::{EntryFlags, RegistryEntry};
 use rio_cpu::kseg_addr;
 use rio_mem::{PageNum, PAGE_SIZE};
 
+/// A write in progress: the self-contained cursor a preemptive
+/// continuation carries across yields. The user bytes already live in the
+/// kernel-heap staging area, so nothing borrows the caller's buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteJob {
+    pub(crate) ino: u64,
+    pub(crate) offset: u64,
+    /// Heap address of the staged copyin.
+    pub(crate) staging: u64,
+    /// Effective byte count (post activation-record re-read).
+    pub(crate) len: usize,
+    /// Bytes copied into the UBC so far.
+    pub(crate) done: usize,
+    /// The inode as read at prep time (block mapping for `ubc_get`).
+    pub(crate) inode: Inode,
+}
+
+/// A read in progress, mirroring [`WriteJob`]. `total == 0` means the
+/// read was past EOF and no staging was allocated.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadJob {
+    pub(crate) ino: u64,
+    pub(crate) offset: u64,
+    pub(crate) staging: u64,
+    pub(crate) total: usize,
+    pub(crate) done: usize,
+    pub(crate) inode: Inode,
+}
+
 impl Kernel {
     /// Ensures the UBC holds file page `pidx` of inode `ino`, returning its
     /// memory page. Missing backing blocks read as zeroes (holes / fresh
@@ -35,9 +64,13 @@ impl Kernel {
         if let Some(ev) = evicted {
             if ev.dirty {
                 // Overflow write-back (the only disk writes Rio ever does).
+                // Synchronous: the frame is about to be reused, so the
+                // write must be durable before the page's last copy goes.
                 self.stats.overflow_writebacks += 1;
-                self.flush_one_ubc_page(ev.key, ev.page, false)?;
+                self.flush_one_ubc_page(ev.key, ev.page, true)?;
             }
+            self.wait_frame_flush(ev.page);
+            self.ubc_wb_pending.retain(|w| w.page != ev.page);
             self.rio_clear_entry(ev.page)?;
         }
         let backing = self.file_block(inode, pidx)?;
@@ -157,14 +190,30 @@ impl Kernel {
         if wait {
             self.machine.clock.wait_until(done);
             self.stats.sync_waits += 1;
+            // Observed complete: everything finished by `done` is
+            // crash-durable even when the wait was deferred.
+            self.machine.disk.harden_until(done);
         }
         self.ubc.mark_clean(key);
-        // Registry: the page is now clean (disk holds it).
         if self.rio.is_some() {
-            if let Some(mut entry) = self.rio_read_entry(page)? {
-                entry.flags = entry.flags.without(EntryFlags::DIRTY);
-                self.rio_write_entry(page, &entry)?;
+            if wait {
+                // The write is durable: the registry entry really is clean.
+                if let Some(mut entry) = self.rio_read_entry(page)? {
+                    entry.flags = entry.flags.without(EntryFlags::DIRTY);
+                    self.rio_write_entry(page, &entry)?;
+                }
+            } else {
+                // Async: DIRTY holds until the write completes (retired at
+                // syscall entry). A crash inside the submit→completion
+                // window loses the queued write, so recovery must take the
+                // page from memory, not trust the stale disk copy.
+                self.ubc_wb_pending.retain(|w| w.page != page);
+                self.ubc_wb_pending
+                    .push(crate::kernel::UbcWriteback { key, page, done });
             }
+        }
+        if !wait {
+            self.note_frame_flush(page, done);
         }
         Ok(())
     }
@@ -183,6 +232,23 @@ impl Kernel {
     }
 
     fn do_write_locked(&mut self, ino: u64, offset: u64, data: &[u8]) -> Result<(), KernelError> {
+        let mut job = self.write_prep(ino, offset, data)?;
+        while job.done < job.len {
+            self.write_one_page(&mut job)?;
+        }
+        self.write_finish(job, false)
+    }
+
+    /// Write setup: activation record, inode read, staging copyin. The
+    /// returned cursor is self-contained (the user bytes live in the
+    /// staged heap copy), so a preemptive continuation can carry it
+    /// across yields.
+    pub(crate) fn write_prep(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<WriteJob, KernelError> {
         // Save parameters in the kernel-stack activation record and re-read
         // them: stack corruption becomes wrong-parameter I/O (§3.2 indirect
         // corruption).
@@ -195,7 +261,7 @@ impl Kernel {
         let len = (len as usize).min(data.len());
         let data = &data[..len];
 
-        let mut inode = self.read_inode(ino)?;
+        let inode = self.read_inode(ino)?;
         if inode.itype != FileType::File {
             return Err(KernelError::IsDir);
         }
@@ -206,13 +272,27 @@ impl Kernel {
         // Stage the user bytes in the kernel heap (copyin).
         let staging = self.kmalloc_traced(data.len().max(1) as u64)?;
         self.machine.bus.mem_mut().write_bytes(staging, data);
+        Ok(WriteJob {
+            ino,
+            offset,
+            staging,
+            len,
+            done: 0,
+            inode,
+        })
+    }
 
-        let mut done = 0usize;
-        while done < data.len() {
+    /// Copies one page's worth of staged bytes into the UBC, with the full
+    /// registry CHANGING/DIRTY discipline. Advances the cursor.
+    pub(crate) fn write_one_page(&mut self, job: &mut WriteJob) -> Result<(), KernelError> {
+        let (ino, offset, staging, data_len, done) =
+            (job.ino, job.offset, job.staging, job.len, job.done);
+        let inode = job.inode.clone();
+        {
             let abs = offset + done as u64;
             let pidx = abs / PAGE_SIZE as u64;
             let in_page = (abs % PAGE_SIZE as u64) as usize;
-            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let n = (PAGE_SIZE - in_page).min(data_len - done);
             let page = self.ubc_get(ino, pidx, &inode)?;
             let key = (ino, pidx);
 
@@ -284,12 +364,43 @@ impl Kernel {
                 let e = *e;
                 self.rio_write_entry(page, &e)?;
             }
-            done += n;
+            job.done = done + n;
         }
+        Ok(())
+    }
+
+    /// Write teardown: staging free, inode size/mtime update, data policy
+    /// (clustered flush, dirty throttle).
+    ///
+    /// `refresh_inode` re-reads the inode before the size update instead
+    /// of writing back the copy captured at [`Kernel::write_prep`]: a
+    /// preemptive writer can lose the CPU mid-job to the `update` daemon
+    /// or another client whose flush assigns backing blocks to this file,
+    /// and writing the stale copy back would discard those pointers. The
+    /// legacy run-to-completion path passes `false` and stays
+    /// byte-identical.
+    pub(crate) fn write_finish(
+        &mut self,
+        job: WriteJob,
+        refresh_inode: bool,
+    ) -> Result<(), KernelError> {
+        let WriteJob {
+            ino,
+            offset,
+            staging,
+            len,
+            inode,
+            ..
+        } = job;
+        let mut inode = if refresh_inode {
+            self.read_inode(ino)?
+        } else {
+            inode
+        };
         self.kfree_traced(staging)?;
 
         // Metadata: size and mtime (ordering-noncritical, as in FFS).
-        let new_size = inode.size.max(offset + data.len() as u64);
+        let new_size = inode.size.max(offset + len as u64);
         inode.size = new_size;
         if !self.preserve_mtime_on_write {
             inode.mtime = self.machine.clock.now().as_micros();
@@ -297,7 +408,7 @@ impl Kernel {
         self.write_inode_async(ino, &inode)?;
 
         // Data policy.
-        self.apply_data_policy(ino, offset, data.len() as u64)?;
+        self.apply_data_policy(ino, offset, len as u64)?;
         Ok(())
     }
 
@@ -385,6 +496,22 @@ impl Kernel {
     }
 
     fn do_read_locked(&mut self, ino: u64, offset: u64, len: usize) -> Result<Vec<u8>, KernelError> {
+        let mut job = self.read_prep(ino, offset, len)?;
+        while job.done < job.total {
+            self.read_one_page(&mut job)?;
+        }
+        self.read_finish(job)
+    }
+
+    /// Read setup: activation record, inode read, EOF clamp, staging
+    /// allocation. See [`Kernel::write_prep`] for the continuation
+    /// contract.
+    pub(crate) fn read_prep(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<ReadJob, KernelError> {
         self.machine.push_act_record(ino, offset, len as u64);
         let (ino, offset, len64) = self
             .machine
@@ -398,31 +525,61 @@ impl Kernel {
         }
         let end = (offset + len as u64).min(inode.size);
         if offset >= end {
-            return Ok(Vec::new());
+            return Ok(ReadJob {
+                ino,
+                offset,
+                staging: 0,
+                total: 0,
+                done: 0,
+                inode,
+            });
         }
         let total = (end - offset) as usize;
         let staging = self.kmalloc_traced(total.max(1) as u64)?;
-        let mut done = 0usize;
-        while done < total {
-            let abs = offset + done as u64;
-            let pidx = abs / PAGE_SIZE as u64;
-            let in_page = (abs % PAGE_SIZE as u64) as usize;
-            let n = (PAGE_SIZE - in_page).min(total - done);
-            let page = self.ubc_get(ino, pidx, &inode)?;
-            // Copy out through the interpreted bcopy (KSEG source; heap
-            // destination needs no window).
-            self.machine
-                .bcopy(
-                    kseg_addr(page.base() + in_page as u64),
-                    staging + done as u64,
-                    n as u64,
-                )
-                .map_err(|e| self.die(e))?;
-            self.machine.clock.charge_page_op();
-            done += n;
+        Ok(ReadJob {
+            ino,
+            offset,
+            staging,
+            total,
+            done: 0,
+            inode,
+        })
+    }
+
+    /// Copies one page's worth of file bytes out to the staging area.
+    pub(crate) fn read_one_page(&mut self, job: &mut ReadJob) -> Result<(), KernelError> {
+        let abs = job.offset + job.done as u64;
+        let pidx = abs / PAGE_SIZE as u64;
+        let in_page = (abs % PAGE_SIZE as u64) as usize;
+        let n = (PAGE_SIZE - in_page).min(job.total - job.done);
+        let inode = job.inode.clone();
+        let page = self.ubc_get(job.ino, pidx, &inode)?;
+        // Copy out through the interpreted bcopy (KSEG source; heap
+        // destination needs no window).
+        self.machine
+            .bcopy(
+                kseg_addr(page.base() + in_page as u64),
+                job.staging + job.done as u64,
+                n as u64,
+            )
+            .map_err(|e| self.die(e))?;
+        self.machine.clock.charge_page_op();
+        job.done += n;
+        Ok(())
+    }
+
+    /// Read teardown: extract the result and free the staging area.
+    pub(crate) fn read_finish(&mut self, job: ReadJob) -> Result<Vec<u8>, KernelError> {
+        if job.total == 0 {
+            return Ok(Vec::new());
         }
-        let out = self.machine.bus.mem().slice(staging, total as u64).to_vec();
-        self.kfree_traced(staging)?;
+        let out = self
+            .machine
+            .bus
+            .mem()
+            .slice(job.staging, job.total as u64)
+            .to_vec();
+        self.kfree_traced(job.staging)?;
         Ok(out)
     }
 

@@ -71,6 +71,11 @@ pub struct KernelStats {
     pub bwrite_to_bdwrite: u64,
     /// Atomic shadow-page metadata commits (§2.3).
     pub shadow_commits: u64,
+    /// Kernel locks acquired through the preemptive blocking path.
+    pub locks_acquired: u64,
+    /// Preemptive lock acquisitions that found the lock held and joined
+    /// the FIFO wait queue.
+    pub locks_contended: u64,
 }
 
 /// Construction parameters for a kernel.
@@ -133,7 +138,33 @@ pub struct Kernel {
     /// interrupted-and-resumed recovery converges to the same on-disk
     /// bytes as an uninterrupted one.
     pub(crate) preserve_mtime_on_write: bool,
+    /// Client whose continuation currently holds the CPU (preemptive
+    /// scheduling only; `None` on the legacy single-client paths).
+    pub(crate) cur_client: Option<u32>,
+    /// Host-side lock ownership and FIFO wait queues for the preemptive
+    /// scheduler. Dies with the kernel at a crash, like the fd table.
+    pub(crate) lockq: crate::preempt::LockQueues,
+    /// Completion time of the newest in-flight write-back sourced from
+    /// each cache frame. Eviction sleeps on this (bwait) before reusing
+    /// the frame: once the frame is reused, the queued write is the
+    /// evicted block's only copy, and the disk's crash model loses
+    /// queued-but-unstarted writes entirely.
+    pub(crate) frame_flushes: Vec<(PageNum, SimTime)>,
+    /// Asynchronous UBC write-backs still inside their submit→completion
+    /// window. The page's registry entry keeps its DIRTY bit for the
+    /// whole window — it clears at retirement, once the disk write has
+    /// actually finished — so a crash inside the window recovers the
+    /// page from memory instead of trusting the stale disk copy.
+    pub(crate) ubc_wb_pending: Vec<UbcWriteback>,
     pub(crate) stats: KernelStats,
+}
+
+/// One asynchronous UBC write-back between submit and completion.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UbcWriteback {
+    pub(crate) key: (u64, u64),
+    pub(crate) page: PageNum,
+    pub(crate) done: SimTime,
 }
 
 impl Kernel {
@@ -245,6 +276,10 @@ impl Kernel {
                 .map(|iv| SimTime::ZERO + iv),
             crc_cache: SectorCrcCache::new(),
             preserve_mtime_on_write: false,
+            cur_client: None,
+            lockq: crate::preempt::LockQueues::default(),
+            frame_flushes: Vec::new(),
+            ubc_wb_pending: Vec::new(),
             stats: KernelStats::default(),
         })
     }
@@ -358,6 +393,68 @@ impl Kernel {
         (self.machine.bus.into_image(), self.machine.disk)
     }
 
+    /// Records an asynchronous write-back sourced from a cache frame, so
+    /// eviction can sleep on its completion before reusing the frame.
+    pub(crate) fn note_frame_flush(&mut self, page: PageNum, done: SimTime) {
+        if let Some(e) = self.frame_flushes.iter_mut().find(|e| e.0 == page) {
+            e.1 = e.1.max(done);
+        } else {
+            self.frame_flushes.push((page, done));
+        }
+    }
+
+    /// bwait: blocks until any write-back still in flight from `page`
+    /// completes. Eviction calls this before reusing a frame — after the
+    /// frame is reused, the queued write is the evicted block's only
+    /// remaining copy, and a crash would silently revert the block to its
+    /// stale on-disk contents (the crash model loses queued writes).
+    pub(crate) fn wait_frame_flush(&mut self, page: PageNum) {
+        let Some(pos) = self.frame_flushes.iter().position(|e| e.0 == page) else {
+            return;
+        };
+        let (_, done) = self.frame_flushes.swap_remove(pos);
+        let now = self.machine.clock.now();
+        if done > now {
+            self.machine.clock.wait_until(done);
+            self.stats.sync_waits += 1;
+            // The kernel has observed the write's completion: everything
+            // finished by `done` is crash-durable even when the wait above
+            // was deferred by the preemptive scheduler.
+            self.machine.disk.harden_until(done);
+        }
+    }
+
+    /// Clears the registry DIRTY bit for async UBC write-backs whose disk
+    /// write has completed. Runs at syscall entry and after synchronous
+    /// drains. A page evicted or redirtied since its flush keeps its
+    /// current state — the next flush queues a fresh retirement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry access faults (which panic the kernel).
+    pub(crate) fn retire_ubc_writebacks(&mut self) -> Result<(), KernelError> {
+        if self.ubc_wb_pending.is_empty() {
+            return Ok(());
+        }
+        let now = self.machine.clock.now();
+        let mut i = 0;
+        while i < self.ubc_wb_pending.len() {
+            if self.ubc_wb_pending[i].done > now {
+                i += 1;
+                continue;
+            }
+            let wb = self.ubc_wb_pending.remove(i);
+            if self.ubc.peek(wb.key) != Some(wb.page) || self.ubc.is_dirty(wb.key) {
+                continue;
+            }
+            if let Some(mut entry) = self.rio_read_entry(wb.page)? {
+                entry.flags = entry.flags.without(rio_core::EntryFlags::DIRTY);
+                self.rio_write_entry(wb.page, &entry)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Guard at every syscall entry.
     ///
     /// # Errors
@@ -382,6 +479,7 @@ impl Kernel {
         if let Err(reason) = self.machine.integrity_probe() {
             return Err(self.panic_from(reason));
         }
+        self.retire_ubc_writebacks()?;
         self.maybe_update()?;
         self.maybe_idle_writeback()?;
         self.maybe_checkpoint()?;
@@ -421,6 +519,8 @@ impl Kernel {
         reg.add("kernel.update_runs", k.update_runs);
         reg.add("kernel.bwrite_to_bdwrite", k.bwrite_to_bdwrite);
         reg.add("kernel.shadow_commits", k.shadow_commits);
+        reg.add("locks.acquired", k.locks_acquired);
+        reg.add("locks.contended", k.locks_contended);
         reg.add("kernel.hook_activations", self.machine.hooks.activations);
         reg.add("kernel.crc_sectors_cached", self.crc_cache.sectors_cached);
         reg.add(

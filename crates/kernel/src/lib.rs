@@ -42,6 +42,7 @@ pub mod meta;
 pub mod ondisk;
 pub mod path;
 pub mod policy;
+pub mod preempt;
 pub mod recovery;
 pub mod sched;
 pub mod syncops;
@@ -59,5 +60,9 @@ pub use recovery::{
     BootInterrupted, BootReport, NoRecoveryFaults, RecoveryControl, RecoveryIoStats,
     RecoveryPoint, WarmBootError,
 };
-pub use sched::{run_clients, ClientStream, SchedTrace};
+pub use locks::LockId;
+pub use preempt::{LockQueues, SyscallCont, SyscallOp, SyscallRet, Yield};
+pub use sched::{
+    run_clients, run_preemptive, ClientStream, PreemptClient, PreemptSched, SchedStep, SchedTrace,
+};
 pub use syscalls::Stat;

@@ -29,9 +29,15 @@ pub enum LockId {
 }
 
 impl LockId {
-    const ALL: [LockId; 4] = [LockId::Fs, LockId::Alloc, LockId::Buf, LockId::Ubc];
+    /// The canonical list of every kernel lock. All code that enumerates
+    /// locks (invariant checks, scheduler wait queues, observability)
+    /// iterates this one list, so a newly added lock cannot silently
+    /// escape a check.
+    pub const ALL: [LockId; 4] = [LockId::Fs, LockId::Alloc, LockId::Buf, LockId::Ubc];
 
-    fn index(self) -> u64 {
+    /// Stable index of this lock in [`LockId::ALL`] (word offset, queue
+    /// slot).
+    pub fn index(self) -> usize {
         match self {
             LockId::Fs => 0,
             LockId::Alloc => 1,
@@ -40,7 +46,8 @@ impl LockId {
         }
     }
 
-    fn name(self) -> &'static str {
+    /// Short lowercase name (panic messages, trace events).
+    pub fn name(self) -> &'static str {
         match self {
             LockId::Fs => "fs",
             LockId::Alloc => "alloc",
@@ -71,7 +78,7 @@ impl LockSet {
     }
 
     fn addr(&self, id: LockId) -> u64 {
-        self.base + id.index() * 8
+        self.base + id.index() as u64 * 8
     }
 
     /// Acquires a lock.

@@ -171,13 +171,25 @@ impl Kernel {
         if let Some(ev) = evicted {
             if ev.dirty {
                 // Overflow write-back: allowed even under Rio (§2.3 — disk
-                // writes happen only when the cache overflows).
+                // writes happen only when the cache overflows). Synchronous:
+                // once the frame is reused the queued write would be the
+                // block's only copy, and a crash loses queued writes.
                 let now = self.machine.clock.now();
-                self.machine
-                    .disk
-                    .submit_write_from(ev.key, self.machine.bus.mem().page(ev.page), now, false);
+                let done = self.machine.disk.submit_write_from(
+                    ev.key,
+                    self.machine.bus.mem().page(ev.page),
+                    now,
+                    false,
+                );
                 self.stats.overflow_writebacks += 1;
+                self.machine.clock.wait_until(done);
+                self.stats.sync_waits += 1;
+                // Observed complete: everything finished by `done` is
+                // crash-durable even when the wait was deferred by the
+                // preemptive scheduler.
+                self.machine.disk.harden_until(done);
             }
+            self.wait_frame_flush(ev.page);
             self.rio_clear_entry(ev.page)?;
         }
         if zero_fill {
@@ -352,6 +364,8 @@ impl Kernel {
                 );
                 self.machine.clock.wait_until(done);
                 self.stats.sync_waits += 1;
+                // bwrite returned: crash-durable even under deferred waits.
+                self.machine.disk.harden_until(done);
                 self.bufcache.mark_clean(block);
             }
             MetadataPolicy::Journal => {
@@ -772,7 +786,10 @@ impl Kernel {
         r
     }
 
-    fn namei_locked(&mut self, path: &str) -> Result<(u64, String, Option<u64>), KernelError> {
+    pub(crate) fn namei_locked(
+        &mut self,
+        path: &str,
+    ) -> Result<(u64, String, Option<u64>), KernelError> {
         let components = crate::path::split_path(path)?;
         if components.is_empty() {
             return Err(KernelError::InvalidPath); // "/" itself has no parent

@@ -1,4 +1,5 @@
-//! Deterministic round-robin process scheduler for multi-client runs.
+//! Deterministic schedulers for multi-client runs: the legacy
+//! run-to-completion rotor and the preemptive continuation scheduler.
 //!
 //! The paper's Sdet exhibit (§5) is a *multi-user* benchmark: concurrent
 //! scripts contending for the same file cache. Our kernel is a
@@ -8,11 +9,21 @@
 //! blocked client's **disk wait** hiding behind another client's CPU
 //! burst.
 //!
-//! Mechanics:
+//! Two schedulers share that clock machinery:
 //!
-//! - Each client is a [`ClientStream`]: `step` runs one quantum (one
-//!   syscall, or a short dependent sequence ending in at most one
-//!   blocking point) against the shared kernel.
+//! - [`run_clients`] (legacy, PR 5): each [`ClientStream::step`] quantum
+//!   runs one whole blocking op to completion; between quanta every
+//!   kernel lock is asserted free. Single-client paths stay
+//!   byte-identical to the pre-scheduler kernel.
+//! - [`PreemptSched`] (this PR): syscalls execute as resumable
+//!   continuations ([`crate::preempt::SyscallCont`]) that yield the CPU
+//!   at their actual block points — buffer-cache miss, registry I/O,
+//!   dirty-throttle stall, fsync wait — with kernel state half-mutated
+//!   and locks ([`crate::preempt`]) legitimately held across the yield.
+//!   Lock contention is resolved by a deterministic FIFO wait queue.
+//!
+//! Shared mechanics:
+//!
 //! - Quanta are serialized on the simulated clock — CPU time never
 //!   overlaps (one CPU). During a quantum the clock runs in deferred-wait
 //!   mode ([`crate::clock::Clock::set_deferred_waits`]): a synchronous
@@ -26,13 +37,11 @@
 //!   (splitmix64) and every subsequent decision is a pure function of
 //!   simulated state — the interleaving is byte-identical on any host,
 //!   at any `RIO_THREADS`.
-//!
-//! Between quanta the scheduler asserts that no kernel lock is held:
-//! clients may not yield mid-critical-section (the big-lock invariant).
 
 use crate::error::KernelError;
 use crate::kernel::Kernel;
 use crate::locks::LockId;
+use crate::preempt::{SyscallCont, SyscallOp, SyscallRet, Yield};
 use rio_disk::SimTime;
 
 /// One logical client driving syscalls against a shared [`Kernel`].
@@ -140,12 +149,261 @@ pub fn run_clients(
 }
 
 fn assert_locks_free(kernel: &Kernel) {
-    for id in [LockId::Fs, LockId::Alloc, LockId::Buf, LockId::Ubc] {
+    for id in LockId::ALL {
         assert!(
             !kernel.machine.locks.is_held(kernel.machine.bus.mem(), id),
             "client yielded the CPU holding the {id:?} lock"
         );
     }
+}
+
+/// One logical client of the preemptive scheduler: a script that emits
+/// syscalls one at a time and sees each result before choosing the next.
+pub trait PreemptClient {
+    /// The next syscall to run, given the previous one's result (`None`
+    /// on the first call, or when the previous op failed benignly — the
+    /// client tracks which op that was). Returning `None` retires the
+    /// client.
+    fn next_op(&mut self, prev: Option<&SyscallRet>) -> Option<SyscallOp>;
+}
+
+/// Why a client is not currently on the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    /// Runnable immediately.
+    Ready,
+    /// Blocked until this disk wake-up time.
+    Disk(SimTime),
+    /// Blocked in this lock's FIFO; runnable once the lock is reserved
+    /// for the client.
+    Lock(LockId),
+    /// Script complete.
+    Finished,
+}
+
+/// Outcome of one [`PreemptSched::step_once`] decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedStep {
+    /// This client ran a quantum.
+    Ran(u32),
+    /// Nobody was runnable; the clock hopped to the earliest disk wake.
+    Idle,
+    /// Every client has finished its script.
+    Done,
+}
+
+/// The preemptive continuation scheduler. Unlike [`run_clients`], a
+/// quantum ends wherever the syscall actually blocks — so between
+/// quanta, clients hold locks and carry half-mutated kernel state in
+/// their parked [`SyscallCont`]s. Fault campaigns inject *between*
+/// quanta, which is exactly when that in-flight state is exposed.
+///
+/// Exposed as a stepwise object (not just a run loop) so campaigns can
+/// interleave warm-up, injection, and watchdog logic with scheduling.
+#[derive(Debug)]
+pub struct PreemptSched {
+    run: Vec<Run>,
+    conts: Vec<Option<SyscallCont>>,
+    last_ret: Vec<Option<SyscallRet>>,
+    rotor: usize,
+    check_invariants: bool,
+    /// Quantum order and accounting, same shape as the legacy trace.
+    pub trace: SchedTrace,
+}
+
+impl PreemptSched {
+    /// A scheduler for `n` clients. The rotor's first pick is
+    /// seed-derived. `check_invariants` enables the between-quanta
+    /// lock-word/owner consistency check — leave it off in fault
+    /// campaigns, where injected faults legitimately desynchronize the
+    /// two.
+    #[must_use]
+    pub fn new(n: usize, seed: u64, check_invariants: bool) -> Self {
+        PreemptSched {
+            run: vec![Run::Ready; n],
+            conts: (0..n).map(|_| None).collect(),
+            last_ret: (0..n).map(|_| None).collect(),
+            rotor: if n == 0 {
+                0
+            } else {
+                (splitmix64(seed) % n as u64) as usize
+            },
+            check_invariants,
+            trace: SchedTrace {
+                finish_at: vec![SimTime::ZERO; n],
+                ..SchedTrace::default()
+            },
+        }
+    }
+
+    /// How many clients currently have a parked in-flight syscall.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.conts.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The locks held by client `c`'s parked continuation, if any.
+    #[must_use]
+    pub fn held_locks(&self, c: usize) -> &[LockId] {
+        self.conts[c].as_ref().map_or(&[], |cont| cont.held_locks())
+    }
+
+    /// Whether client `c` has retired.
+    #[must_use]
+    pub fn is_finished(&self, c: usize) -> bool {
+        matches!(self.run[c], Run::Finished)
+    }
+
+    /// Whether every client has retired.
+    #[must_use]
+    pub fn all_finished(&self) -> bool {
+        self.run.iter().all(|r| matches!(r, Run::Finished))
+    }
+
+    /// Makes one scheduling decision: runs the first eligible client at
+    /// or after the rotor for one quantum, or hops the clock to the
+    /// earliest disk wake-up if nobody is runnable.
+    ///
+    /// # Errors
+    ///
+    /// A kernel crash (or any client error while the kernel is crashed)
+    /// aborts the run; benign syscall errors are absorbed — the failed
+    /// op's continuation is dropped and the client is asked for its next
+    /// op with `prev = None`.
+    ///
+    /// # Panics
+    ///
+    /// On scheduler deadlock (every unfinished client lock-blocked with
+    /// no reservation) — impossible by construction, see
+    /// [`crate::preempt`] — or, with `check_invariants`, on a lock
+    /// word/owner mismatch between quanta.
+    pub fn step_once(
+        &mut self,
+        kernel: &mut Kernel,
+        clients: &mut [&mut dyn PreemptClient],
+    ) -> Result<SchedStep, KernelError> {
+        let n = self.run.len();
+        assert_eq!(clients.len(), n, "client count changed mid-run");
+        if self.all_finished() {
+            return Ok(SchedStep::Done);
+        }
+        let now = kernel.machine.clock.now();
+        let pick = (0..n).map(|i| (self.rotor + i) % n).find(|&c| {
+            match self.run[c] {
+                Run::Ready => true,
+                Run::Disk(t) => t <= now,
+                Run::Lock(l) => kernel.lock_reserved_for(l) == Some(c as u32),
+                Run::Finished => false,
+            }
+        });
+        let Some(c) = pick else {
+            let wake = self
+                .run
+                .iter()
+                .filter_map(|r| match r {
+                    Run::Disk(t) => Some(*t),
+                    _ => None,
+                })
+                .min();
+            let wake = wake.expect(
+                "scheduler deadlock: all unfinished clients lock-blocked with no reservation",
+            );
+            self.trace.idle_hops += 1;
+            kernel.idle_until(wake)?;
+            return Ok(SchedStep::Idle);
+        };
+        if self.conts[c].is_none() {
+            let prev = self.last_ret[c].take();
+            match clients[c].next_op(prev.as_ref()) {
+                None => {
+                    self.run[c] = Run::Finished;
+                    self.trace.finish_at[c] = kernel.machine.clock.now();
+                    self.rotor = (c + 1) % n;
+                    return Ok(if self.all_finished() {
+                        SchedStep::Done
+                    } else {
+                        SchedStep::Ran(c as u32)
+                    });
+                }
+                Some(op) => self.conts[c] = Some(SyscallCont::new(op)),
+            }
+        }
+        kernel.cur_client = Some(c as u32);
+        kernel.machine.clock.set_deferred_waits(true);
+        let res = self.conts[c].as_mut().expect("installed above").resume(kernel);
+        let deferred = kernel.machine.clock.take_deferred();
+        kernel.machine.clock.set_deferred_waits(false);
+        kernel.cur_client = None;
+        self.trace.quanta.push(c as u32);
+        self.rotor = (c + 1) % n;
+        match res {
+            Ok(Yield::Done(ret)) => {
+                self.conts[c] = None;
+                self.last_ret[c] = Some(ret);
+                // A trailing wait (throttle stall in the final phase)
+                // still blocks the client past the op's completion.
+                self.run[c] = deferred.map_or(Run::Ready, Run::Disk);
+            }
+            Ok(Yield::Disk) => {
+                self.run[c] =
+                    Run::Disk(deferred.unwrap_or_else(|| kernel.machine.clock.now()));
+            }
+            Ok(Yield::Lock(l)) => {
+                self.run[c] = Run::Lock(l);
+            }
+            Err(e) => {
+                self.conts[c] = None;
+                self.last_ret[c] = None;
+                if kernel.is_crashed() {
+                    return Err(e);
+                }
+                // Benign failure (Exists, NotFound, ...): the client
+                // sees `prev = None` and decides what to do next.
+                self.run[c] = Run::Ready;
+            }
+        }
+        if self.check_invariants {
+            Self::assert_lock_owner_consistency(kernel);
+        }
+        Ok(SchedStep::Ran(c as u32))
+    }
+
+    /// Between quanta the lock *words* in simulated memory and the
+    /// host-side owner table must agree: held iff owned. Fault hooks
+    /// (skipped lock ops) legitimately break this, so campaigns run with
+    /// the check disabled.
+    fn assert_lock_owner_consistency(kernel: &Kernel) {
+        if kernel.is_crashed() {
+            return;
+        }
+        for id in LockId::ALL {
+            let word = kernel.machine.locks.is_held(kernel.machine.bus.mem(), id);
+            let owner = kernel.lock_owner(id);
+            assert_eq!(
+                word,
+                owner.is_some(),
+                "{id:?}: lock word ({word}) disagrees with owner table ({owner:?})"
+            );
+        }
+    }
+}
+
+/// Runs `clients` under the preemptive scheduler until every script
+/// finishes. Convenience wrapper over [`PreemptSched::step_once`] for
+/// fault-free runs (campaigns drive the scheduler stepwise instead).
+///
+/// # Errors
+///
+/// The first kernel crash aborts the run.
+pub fn run_preemptive(
+    kernel: &mut Kernel,
+    clients: &mut [&mut dyn PreemptClient],
+    seed: u64,
+    check_invariants: bool,
+) -> Result<SchedTrace, KernelError> {
+    let mut sched = PreemptSched::new(clients.len(), seed, check_invariants);
+    while !matches!(sched.step_once(kernel, clients)?, SchedStep::Done) {}
+    Ok(sched.trace)
 }
 
 #[cfg(test)]
@@ -269,5 +527,210 @@ mod tests {
             duo.as_micros() < solo.as_micros() * 2,
             "disk waits should overlap CPU: solo={solo:?} duo={duo:?}"
         );
+    }
+
+    /// A scripted [`PreemptClient`]: runs a fixed op list, remembers
+    /// results, requires every op to succeed.
+    struct Script {
+        ops: Vec<SyscallOp>,
+        next: usize,
+        rets: Vec<SyscallRet>,
+        started: bool,
+    }
+
+    impl Script {
+        fn new(ops: Vec<SyscallOp>) -> Self {
+            Script {
+                ops,
+                next: 0,
+                rets: Vec::new(),
+                started: false,
+            }
+        }
+    }
+
+    impl PreemptClient for Script {
+        fn next_op(&mut self, prev: Option<&SyscallRet>) -> Option<SyscallOp> {
+            if self.started {
+                let prev = prev.expect("scripted ops must succeed");
+                self.rets.push(prev.clone());
+            }
+            self.started = true;
+            let op = self.ops.get(self.next).cloned();
+            self.next += 1;
+            op
+        }
+    }
+
+    #[test]
+    fn preemptive_single_client_matches_direct_syscalls() {
+        // One client, no contention: the continuation path must land on
+        // the same final state as calling the syscalls directly. (The
+        // clocks legitimately differ: the direct path waits for the disk
+        // *inside* the op, the preemptive path defers the wait to the
+        // scheduler, which shifts when later disk requests are issued.)
+        let payload = vec![7u8; 3 * 4096 + 123];
+        let direct = {
+            let mut k = kernel(Policy::rio(rio_core::RioMode::Protected));
+            let fd = k.create("/a").unwrap();
+            k.write(fd, &payload).unwrap();
+            k.fsync(fd).unwrap();
+            k.close(fd).unwrap();
+            k.mkdir("/d").unwrap();
+            let names = k.readdir("/").unwrap();
+            (k.file_contents("/a").unwrap(), names)
+        };
+        let preempted = {
+            let mut k = kernel(Policy::rio(rio_core::RioMode::Protected));
+            let mut s = Script::new(vec![SyscallOp::Create("/a".into())]);
+            let mut clients: [&mut dyn PreemptClient; 1] = [&mut s];
+            run_preemptive(&mut k, &mut clients, 0, true).unwrap();
+            let SyscallRet::Fd(fd) = s.rets[0] else {
+                panic!("create returns an fd")
+            };
+            let mut s2 = Script::new(vec![
+                SyscallOp::Write {
+                    fd,
+                    data: payload.clone(),
+                },
+                SyscallOp::Fsync(fd),
+                SyscallOp::Close(fd),
+                SyscallOp::Mkdir("/d".into()),
+                SyscallOp::Readdir("/".into()),
+            ]);
+            let mut clients: [&mut dyn PreemptClient; 1] = [&mut s2];
+            run_preemptive(&mut k, &mut clients, 0, true).unwrap();
+            let SyscallRet::Names(ref names) = s2.rets[4] else {
+                panic!("readdir returns names")
+            };
+            (k.file_contents("/a").unwrap(), names.clone())
+        };
+        assert_eq!(direct.0, preempted.0, "file contents diverge");
+        assert_eq!(direct.1, preempted.1, "directory listing diverges");
+    }
+
+    #[test]
+    fn cold_namei_blocks_holding_fs_and_contender_queues() {
+        // On a cold metadata cache the first client's namei goes to disk
+        // holding Fs; the second client's create must hit the FIFO.
+        let mut k = kernel(Policy::disk_write_through());
+        let mut a = Script::new(vec![SyscallOp::Create("/a".into())]);
+        let mut b = Script::new(vec![SyscallOp::Create("/b".into())]);
+        let mut clients: [&mut dyn PreemptClient; 2] = [&mut a, &mut b];
+        let trace = run_preemptive(&mut k, &mut clients, 0, true).unwrap();
+        assert!(k.stats.locks_contended >= 1, "no Fs contention observed");
+        assert!(k.stats.locks_acquired >= 2);
+        assert_eq!(k.lock_waiters(LockId::Fs), 0, "queue must drain");
+        assert_eq!(k.lock_owner(LockId::Fs), None, "lock must be released");
+        assert!(
+            trace.quanta.len() > 4,
+            "mid-syscall yields should multiply quanta: {:?}",
+            trace.quanta
+        );
+        let names = k.readdir("/").unwrap();
+        assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn preemptive_interleaving_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut k = kernel(Policy::disk_write_through());
+            let mut scripts: Vec<Script> = (0..3)
+                .map(|i| {
+                    Script::new(vec![
+                        SyscallOp::Create(format!("/f{i}")),
+                        SyscallOp::Mkdir(format!("/d{i}")),
+                    ])
+                })
+                .collect();
+            let mut clients: Vec<&mut dyn PreemptClient> = scripts
+                .iter_mut()
+                .map(|s| s as &mut dyn PreemptClient)
+                .collect();
+            let trace = run_preemptive(&mut k, &mut clients, seed, true).unwrap();
+            (trace.quanta, k.machine.clock.now())
+        };
+        assert_eq!(run(9), run(9), "same seed, same interleaving");
+        let (q1, t1) = run(3);
+        let (q2, t2) = run(4);
+        assert_eq!(u64::from(q1[0]), splitmix64(3) % 3);
+        assert_eq!(u64::from(q2[0]), splitmix64(4) % 3);
+        assert_eq!(t1, t2, "same work, same total time");
+    }
+
+    #[test]
+    fn preemptive_multi_client_matches_serialized_runs() {
+        // The property at the heart of the refactor: interleaving
+        // fault-free clients must not change what ends up in the file
+        // system, only when. Compare against the same scripts run one
+        // client at a time.
+        let script = |i: usize| {
+            vec![
+                SyscallOp::Create(format!("/f{i}")),
+                SyscallOp::Mkdir(format!("/dir{i}")),
+            ]
+        };
+        let write_script = |fd: crate::kernel::Fd, i: usize| {
+            vec![
+                SyscallOp::Write {
+                    fd,
+                    data: vec![i as u8 + 1; 4096 * 2 + i],
+                },
+                SyscallOp::Fsync(fd),
+                SyscallOp::Close(fd),
+            ]
+        };
+        let run = |preemptive: bool| {
+            let mut k = kernel(Policy::disk_write_through());
+            // Phase 1: create files (returns per-client fds).
+            let mut scripts: Vec<Script> = (0..4).map(|i| Script::new(script(i))).collect();
+            if preemptive {
+                let mut clients: Vec<&mut dyn PreemptClient> = scripts
+                    .iter_mut()
+                    .map(|s| s as &mut dyn PreemptClient)
+                    .collect();
+                run_preemptive(&mut k, &mut clients, 5, true).unwrap();
+            } else {
+                for s in &mut scripts {
+                    let mut clients: [&mut dyn PreemptClient; 1] = [s];
+                    run_preemptive(&mut k, &mut clients, 5, true).unwrap();
+                }
+            }
+            let fds: Vec<crate::kernel::Fd> = scripts
+                .iter()
+                .map(|s| match s.rets[0] {
+                    SyscallRet::Fd(fd) => fd,
+                    ref other => panic!("create returned {other:?}"),
+                })
+                .collect();
+            // Phase 2: write + fsync + close.
+            let mut scripts: Vec<Script> = fds
+                .iter()
+                .enumerate()
+                .map(|(i, &fd)| Script::new(write_script(fd, i)))
+                .collect();
+            if preemptive {
+                let mut clients: Vec<&mut dyn PreemptClient> = scripts
+                    .iter_mut()
+                    .map(|s| s as &mut dyn PreemptClient)
+                    .collect();
+                run_preemptive(&mut k, &mut clients, 6, true).unwrap();
+            } else {
+                for s in &mut scripts {
+                    let mut clients: [&mut dyn PreemptClient; 1] = [s];
+                    run_preemptive(&mut k, &mut clients, 6, true).unwrap();
+                }
+            }
+            let mut state: Vec<(String, Vec<u8>)> = Vec::new();
+            for i in 0..4 {
+                let path = format!("/f{i}");
+                let data = k.file_contents(&path).unwrap();
+                state.push((path, data));
+            }
+            (state, k.readdir("/").unwrap())
+        };
+        let inter = run(true);
+        let serial = run(false);
+        assert_eq!(inter, serial, "interleaving changed the final state");
     }
 }

@@ -14,13 +14,14 @@ impl Kernel {
         if self.bufcache.is_dirty(block) {
             if let Some(page) = self.bufcache.peek(block) {
                 let now = self.machine.clock.now();
-                self.machine.disk.submit_write_from(
+                let done = self.machine.disk.submit_write_from(
                     block,
                     self.machine.bus.mem().page(page),
                     now,
                     false,
                 );
                 self.bufcache.mark_clean(block);
+                self.note_frame_flush(page, done);
             }
         }
         // Wait for everything queued to settle — fsync's contract.
@@ -29,6 +30,9 @@ impl Kernel {
         self.machine.disk.sync(now);
         self.machine.clock.wait_until(done);
         self.stats.sync_waits += 1;
+        // Everything submitted above is durable now: retire the registry
+        // DIRTY bits the async page flushes left pending.
+        self.retire_ubc_writebacks()?;
         Ok(())
     }
 
@@ -48,13 +52,14 @@ impl Kernel {
         let now = self.machine.clock.now();
         for block in self.bufcache.dirty_keys() {
             if let Some(page) = self.bufcache.peek(block) {
-                self.machine.disk.submit_write_from(
+                let done = self.machine.disk.submit_write_from(
                     block,
                     self.machine.bus.mem().page(page),
                     now,
                     false,
                 );
                 self.bufcache.mark_clean(block);
+                self.note_frame_flush(page, done);
             }
         }
         if wait {
@@ -63,6 +68,7 @@ impl Kernel {
             self.machine.disk.sync(now);
             self.machine.clock.wait_until(done);
             self.stats.sync_waits += 1;
+            self.retire_ubc_writebacks()?;
         }
         Ok(())
     }
@@ -92,13 +98,14 @@ impl Kernel {
         for block in self.bufcache.dirty_keys().into_iter().take(4) {
             if let Some(page) = self.bufcache.peek(block) {
                 let now = self.machine.clock.now();
-                self.machine.disk.submit_write_from(
+                let done = self.machine.disk.submit_write_from(
                     block,
                     self.machine.bus.mem().page(page),
                     now,
                     false,
                 );
                 self.bufcache.mark_clean(block);
+                self.note_frame_flush(page, done);
             }
         }
         Ok(())

@@ -35,7 +35,7 @@ impl Kernel {
         self.fds.get(&fd.0).copied().ok_or(KernelError::BadFd)
     }
 
-    fn fd_read_state(&mut self, fd: Fd) -> Result<(u64, u64, u64), KernelError> {
+    pub(crate) fn fd_read_state(&mut self, fd: Fd) -> Result<(u64, u64, u64), KernelError> {
         let addr = self.fd_object(fd)?;
         let mem = self.machine.bus.mem();
         let magic = mem.read_u64(addr + FD_MAGIC_OFF);
@@ -49,11 +49,11 @@ impl Kernel {
         Ok((addr, ino, pos))
     }
 
-    fn fd_write_pos(&mut self, addr: u64, pos: u64) {
+    pub(crate) fn fd_write_pos(&mut self, addr: u64, pos: u64) {
         self.machine.bus.mem_mut().write_u64(addr + FD_POS_OFF, pos);
     }
 
-    fn make_fd(&mut self, ino: u64) -> Result<Fd, KernelError> {
+    pub(crate) fn make_fd(&mut self, ino: u64) -> Result<Fd, KernelError> {
         let addr = self.kmalloc_traced(FD_OBJ_BYTES)?;
         let mem = self.machine.bus.mem_mut();
         mem.write_u64(addr + FD_MAGIC_OFF, FD_MAGIC);
@@ -65,6 +65,33 @@ impl Kernel {
         Ok(fd)
     }
 
+    /// `create` body after path resolution: allocate and link the inode.
+    /// Shared by the run-to-completion path and the preemptive
+    /// continuation (which runs it under a held `Fs` lock).
+    pub(crate) fn create_body(
+        &mut self,
+        dir: u64,
+        leaf: &str,
+        existing: Option<u64>,
+    ) -> Result<u64, KernelError> {
+        if existing.is_some() {
+            return Err(KernelError::Exists);
+        }
+        let ino = self.alloc_inode(FileType::File)?;
+        self.dir_insert(dir, leaf, ino)?;
+        Ok(ino)
+    }
+
+    /// `open` body after path resolution: type-check the inode.
+    pub(crate) fn open_body(&mut self, existing: Option<u64>) -> Result<u64, KernelError> {
+        let ino = existing.ok_or(KernelError::NotFound)?;
+        let inode = self.read_inode(ino)?;
+        if inode.itype != FileType::File {
+            return Err(KernelError::IsDir);
+        }
+        Ok(ino)
+    }
+
     /// Creates a regular file and opens it.
     ///
     /// # Errors
@@ -73,11 +100,7 @@ impl Kernel {
     pub fn create(&mut self, path: &str) -> Result<Fd, KernelError> {
         self.enter_syscall()?;
         let (dir, leaf, existing) = self.namei(path)?;
-        if existing.is_some() {
-            return Err(KernelError::Exists);
-        }
-        let ino = self.alloc_inode(FileType::File)?;
-        self.dir_insert(dir, &leaf, ino)?;
+        let ino = self.create_body(dir, &leaf, existing)?;
         self.make_fd(ino)
     }
 
@@ -89,11 +112,7 @@ impl Kernel {
     pub fn open(&mut self, path: &str) -> Result<Fd, KernelError> {
         self.enter_syscall()?;
         let (_, _, existing) = self.namei(path)?;
-        let ino = existing.ok_or(KernelError::NotFound)?;
-        let inode = self.read_inode(ino)?;
-        if inode.itype != FileType::File {
-            return Err(KernelError::IsDir);
-        }
+        let ino = self.open_body(existing)?;
         self.make_fd(ino)
     }
 
@@ -200,11 +219,21 @@ impl Kernel {
     pub fn mkdir(&mut self, path: &str) -> Result<(), KernelError> {
         self.enter_syscall()?;
         let (dir, leaf, existing) = self.namei(path)?;
+        self.mkdir_body(dir, &leaf, existing)
+    }
+
+    /// `mkdir` body after path resolution.
+    pub(crate) fn mkdir_body(
+        &mut self,
+        dir: u64,
+        leaf: &str,
+        existing: Option<u64>,
+    ) -> Result<(), KernelError> {
         if existing.is_some() {
             return Err(KernelError::Exists);
         }
         let ino = self.alloc_inode(FileType::Dir)?;
-        self.dir_insert(dir, &leaf, ino)
+        self.dir_insert(dir, leaf, ino)
     }
 
     /// Removes an empty directory.
@@ -215,6 +244,16 @@ impl Kernel {
     pub fn rmdir(&mut self, path: &str) -> Result<(), KernelError> {
         self.enter_syscall()?;
         let (dir, leaf, existing) = self.namei(path)?;
+        self.rmdir_body(dir, &leaf, existing)
+    }
+
+    /// `rmdir` body after path resolution.
+    pub(crate) fn rmdir_body(
+        &mut self,
+        dir: u64,
+        leaf: &str,
+        existing: Option<u64>,
+    ) -> Result<(), KernelError> {
         let ino = existing.ok_or(KernelError::NotFound)?;
         let inode = self.read_inode(ino)?;
         if inode.itype != FileType::Dir {
@@ -223,7 +262,7 @@ impl Kernel {
         if !self.dir_entries_of(ino)?.is_empty() {
             return Err(KernelError::NotEmpty);
         }
-        self.dir_remove(dir, &leaf)?;
+        self.dir_remove(dir, leaf)?;
         let (blocks, indirect) = self.collect_file_blocks(&inode)?;
         let mut all = blocks;
         all.extend(indirect);
@@ -241,12 +280,22 @@ impl Kernel {
     pub fn unlink(&mut self, path: &str) -> Result<(), KernelError> {
         self.enter_syscall()?;
         let (dir, leaf, existing) = self.namei(path)?;
+        self.unlink_body(dir, &leaf, existing)
+    }
+
+    /// `unlink` body after path resolution.
+    pub(crate) fn unlink_body(
+        &mut self,
+        dir: u64,
+        leaf: &str,
+        existing: Option<u64>,
+    ) -> Result<(), KernelError> {
         let ino = existing.ok_or(KernelError::NotFound)?;
         let inode = self.read_inode(ino)?;
         if inode.itype == FileType::Dir {
             return Err(KernelError::IsDir);
         }
-        self.dir_remove(dir, &leaf)?;
+        self.dir_remove(dir, leaf)?;
         // Drop cached pages (and their registry entries).
         let keys: Vec<(u64, u64)> = self
             .ubc
@@ -302,6 +351,11 @@ impl Kernel {
             let (_, _, existing) = self.namei(path)?;
             existing.ok_or(KernelError::NotFound)?
         };
+        self.readdir_body(ino)
+    }
+
+    /// `readdir` body after path resolution.
+    pub(crate) fn readdir_body(&mut self, ino: u64) -> Result<Vec<String>, KernelError> {
         let mut names: Vec<String> = self
             .dir_entries_of(ino)?
             .into_iter()

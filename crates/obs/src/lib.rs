@@ -76,6 +76,11 @@ pub enum EventCategory {
     /// The trial harness itself panicked; the panic text is preserved as
     /// a [`Note`] so crash-message accounting cannot silently undercount.
     TrialPanic,
+    /// A preemptive lock acquisition found the lock held by another
+    /// client and joined the FIFO wait queue (contention is only possible
+    /// under the preemptive scheduler, where locks are held across
+    /// yields).
+    LockContended,
 }
 
 impl EventCategory {
@@ -93,6 +98,7 @@ impl EventCategory {
             EventCategory::FaultInjected => "fault_injected",
             EventCategory::TrialVerdict => "trial_verdict",
             EventCategory::TrialPanic => "trial_panic",
+            EventCategory::LockContended => "lock_contended",
         }
     }
 }

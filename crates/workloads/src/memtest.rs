@@ -12,7 +12,7 @@
 
 use crate::datagen;
 use crate::model::ModelFs;
-use rio_kernel::{Kernel, KernelError};
+use rio_kernel::{Kernel, KernelError, PreemptClient, SyscallOp, SyscallRet};
 
 /// memTest parameters.
 #[derive(Debug, Clone)]
@@ -133,6 +133,18 @@ impl MemTest {
     ///
     /// Propagates kernel errors (crash during setup aborts the run).
     pub fn setup(&mut self, k: &mut Kernel) -> Result<(), KernelError> {
+        self.setup_skeleton(k)?;
+        Self::setup_static(k, self.cfg.seed)
+    }
+
+    /// Creates just this instance's directory skeleton. Multi-client runs
+    /// give every client a distinct root, call this per client, and create
+    /// the shared static set once with [`MemTest::setup_static`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn setup_skeleton(&mut self, k: &mut Kernel) -> Result<(), KernelError> {
         k.mkdir(&self.cfg.root)?;
         self.model.dirs.insert(self.cfg.root.clone());
         for d in 0..self.cfg.num_dirs {
@@ -140,9 +152,18 @@ impl MemTest {
             k.mkdir(&path)?;
             self.model.dirs.insert(path);
         }
+        Ok(())
+    }
+
+    /// Creates the shared `/static` comparison pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn setup_static(k: &mut Kernel, seed: u64) -> Result<(), KernelError> {
         k.mkdir("/static")?;
         for i in 0..3 {
-            let data = datagen::bytes(self.cfg.seed, STATIC_TAG + i, 4096);
+            let data = datagen::bytes(seed, STATIC_TAG + i, 4096);
             for half in ["a", "b"] {
                 let fd = k.create(&format!("/static/{half}{i}"))?;
                 k.write(fd, &data)?;
@@ -351,6 +372,173 @@ impl MemTest {
 /// Tag base for the static comparison files.
 const STATIC_TAG: u64 = 0xABCD_0000;
 
+/// memTest as a [`PreemptClient`]: each logical memTest operation is
+/// decomposed into its constituent syscalls (`create`+`write`+`close`,
+/// `open`+`pread`+`close`, ...), each of which runs as a resumable
+/// continuation under the preemptive scheduler — so a crash can land
+/// with this client's syscall half-executed and its locks held.
+///
+/// The model is applied only when the *whole* logical op has completed,
+/// and [`MemTest::ops_done`] counts logical ops — so the §3.2 replay
+/// protocol ([`MemTest::replay`]) reconstructs the expected state
+/// exactly as in the run-to-completion harness, and the interrupted
+/// logical op's target is still named by [`MemTest::in_flight`].
+#[derive(Debug, Clone)]
+pub struct PreemptMemTest {
+    mt: MemTest,
+    target_ops: u64,
+    /// The logical op currently being executed, if any.
+    cur: Option<Op>,
+    /// Remaining micro-ops of the current logical op.
+    queue: std::collections::VecDeque<SyscallOp>,
+    /// The next result is the fd the rest of the micro-ops need.
+    await_fd: bool,
+    /// A micro-op failed benignly: the client retires (its logical op
+    /// never completed, so the model was never updated).
+    failed: bool,
+}
+
+impl PreemptMemTest {
+    /// A fresh preemptible memTest that retires after `target_ops`
+    /// logical operations (call [`PreemptMemTest::setup_skeleton`], and
+    /// [`MemTest::setup_static`] once globally, before scheduling).
+    pub fn new(cfg: MemTestConfig, target_ops: u64) -> Self {
+        PreemptMemTest {
+            mt: MemTest::new(cfg),
+            target_ops,
+            cur: None,
+            queue: std::collections::VecDeque::new(),
+            await_fd: false,
+            failed: false,
+        }
+    }
+
+    /// The underlying memTest (progress counter, model, config).
+    pub fn memtest(&self) -> &MemTest {
+        &self.mt
+    }
+
+    /// Completed *logical* operations.
+    pub fn ops_done(&self) -> u64 {
+        self.mt.ops_done
+    }
+
+    /// Whether a micro-op failed benignly and retired the client.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Creates this client's directory skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn setup_skeleton(&mut self, k: &mut Kernel) -> Result<(), KernelError> {
+        self.mt.setup_skeleton(k)
+    }
+
+    /// Queues the fd-dependent tail of the current logical op.
+    fn enqueue_with_fd(&mut self, fd: rio_kernel::Fd) {
+        let cfg = &self.mt.cfg;
+        match self.cur.as_ref().expect("awaiting an fd implies an op") {
+            Op::Create { len, tag, .. } => {
+                let data = datagen::bytes(cfg.seed, *tag, *len);
+                self.queue.push_back(SyscallOp::Write { fd, data });
+                if cfg.fsync_every_write {
+                    self.queue.push_back(SyscallOp::Fsync(fd));
+                }
+                self.queue.push_back(SyscallOp::Close(fd));
+            }
+            Op::Rewrite { len, tag, .. } => {
+                let data = datagen::bytes(cfg.seed, *tag, *len);
+                self.queue.push_back(SyscallOp::Pwrite {
+                    fd,
+                    offset: 0,
+                    data,
+                });
+                if cfg.fsync_every_write {
+                    self.queue.push_back(SyscallOp::Fsync(fd));
+                }
+                self.queue.push_back(SyscallOp::Close(fd));
+            }
+            Op::Read { .. } => {
+                // Whole-file read: the kernel clamps to the inode size.
+                self.queue.push_back(SyscallOp::Pread {
+                    fd,
+                    offset: 0,
+                    len: 1 << 32,
+                });
+                self.queue.push_back(SyscallOp::Close(fd));
+            }
+            Op::Delete { .. } | Op::MkToggle { .. } | Op::RmToggle { .. } => {
+                unreachable!("single-syscall ops never await an fd")
+            }
+        }
+    }
+}
+
+impl PreemptClient for PreemptMemTest {
+    fn next_op(&mut self, prev: Option<&SyscallRet>) -> Option<SyscallOp> {
+        if self.failed {
+            return None;
+        }
+        if self.cur.is_some() {
+            let Some(prev) = prev else {
+                // A micro-op failed benignly mid-logical-op. The kernel
+                // may hold a half-applied op now; the model does not.
+                self.failed = true;
+                return None;
+            };
+            if self.await_fd {
+                let SyscallRet::Fd(fd) = prev else {
+                    self.failed = true;
+                    return None;
+                };
+                self.await_fd = false;
+                self.enqueue_with_fd(*fd);
+            }
+            if let Some(op) = self.queue.pop_front() {
+                return Some(op);
+            }
+            // All micro-ops done: the logical op completed.
+            let op = self.cur.take().expect("checked above");
+            MemTest::apply_to_model(
+                &self.mt.cfg,
+                &op,
+                &mut self.mt.model,
+                &mut self.mt.total_bytes,
+            );
+            self.mt.ops_done += 1;
+            self.mt.in_flight = None;
+        }
+        if self.mt.ops_done >= self.target_ops {
+            return None;
+        }
+        let op = MemTest::decide(
+            &self.mt.cfg,
+            self.mt.ops_done,
+            &self.mt.model,
+            self.mt.total_bytes,
+        );
+        self.mt.in_flight = Some(op.target().to_owned());
+        let first = match &op {
+            Op::Create { path, .. } => {
+                self.await_fd = true;
+                SyscallOp::Create(path.clone())
+            }
+            Op::Rewrite { path, .. } | Op::Read { path } => {
+                self.await_fd = true;
+                SyscallOp::Open(path.clone())
+            }
+            Op::Delete { path } => SyscallOp::Unlink(path.clone()),
+            Op::MkToggle { path } => SyscallOp::Mkdir(path.clone()),
+            Op::RmToggle { path } => SyscallOp::Rmdir(path.clone()),
+        };
+        self.cur = Some(op);
+        Some(first)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +612,92 @@ mod tests {
             total < 200_000 + cfg.max_file_bytes * 2,
             "set grew to {total}"
         );
+    }
+
+    fn scale_cfg(c: usize) -> MemTestConfig {
+        MemTestConfig {
+            root: format!("/m{c}"),
+            max_set_bytes: 96 * 1024,
+            max_file_bytes: 8 * 1024,
+            ..MemTestConfig::small(1000 + c as u64)
+        }
+    }
+
+    #[test]
+    fn preemptive_memtest_matches_run_to_completion() {
+        // Same seed, same logical op count: the preemptive decomposition
+        // must land on the same model AND the same on-disk state as the
+        // classic MemTest::run.
+        let classic = {
+            let mut k = kernel();
+            let mut mt = MemTest::new(MemTestConfig::small(42));
+            mt.setup(&mut k).unwrap();
+            mt.run(&mut k, 60).unwrap();
+            let report = mt.model().verify(&mut k, None).unwrap();
+            assert!(!report.is_corrupt(), "{report:?}");
+            (mt.model().clone(), k.readdir("/memtest/dir0").unwrap())
+        };
+        let preempted = {
+            let mut k = kernel();
+            let mut pm = PreemptMemTest::new(MemTestConfig::small(42), 60);
+            pm.setup_skeleton(&mut k).unwrap();
+            MemTest::setup_static(&mut k, 42).unwrap();
+            let mut clients: [&mut dyn PreemptClient; 1] = [&mut pm];
+            rio_kernel::run_preemptive(&mut k, &mut clients, 0, true).unwrap();
+            assert!(!pm.failed(), "fault-free run must not fail");
+            assert_eq!(pm.ops_done(), 60);
+            let report = pm.memtest().model().verify(&mut k, None).unwrap();
+            assert!(!report.is_corrupt(), "{report:?}");
+            (
+                pm.memtest().model().clone(),
+                k.readdir("/memtest/dir0").unwrap(),
+            )
+        };
+        assert_eq!(classic.0.files, preempted.0.files);
+        assert_eq!(classic.0.dirs, preempted.0.dirs);
+        assert_eq!(classic.1, preempted.1);
+    }
+
+    #[test]
+    fn preemptive_multi_client_matches_serialized_memtest() {
+        // The refactor's core property at workload scale: interleaving N
+        // fault-free memTest clients (contending for Fs/Ubc, yielding
+        // mid-syscall) must reach the same final disk and registry state
+        // as running the same scripts one client at a time.
+        let final_state = |interleaved: bool| {
+            let mut k = kernel();
+            let mut pms: Vec<PreemptMemTest> =
+                (0..4).map(|c| PreemptMemTest::new(scale_cfg(c), 40)).collect();
+            MemTest::setup_static(&mut k, 7).unwrap();
+            for pm in &mut pms {
+                pm.setup_skeleton(&mut k).unwrap();
+            }
+            if interleaved {
+                let mut clients: Vec<&mut dyn PreemptClient> = pms
+                    .iter_mut()
+                    .map(|p| p as &mut dyn PreemptClient)
+                    .collect();
+                rio_kernel::run_preemptive(&mut k, &mut clients, 11, true).unwrap();
+            } else {
+                for pm in &mut pms {
+                    let mut clients: [&mut dyn PreemptClient; 1] = [pm];
+                    rio_kernel::run_preemptive(&mut k, &mut clients, 11, true).unwrap();
+                }
+            }
+            let mut contents = Vec::new();
+            for pm in &pms {
+                assert!(!pm.failed());
+                assert_eq!(pm.ops_done(), 40);
+                let report = pm.memtest().model().verify(&mut k, None).unwrap();
+                assert!(!report.is_corrupt(), "{report:?}");
+                for (path, data) in &pm.memtest().model().files {
+                    contents.push((path.clone(), data.clone()));
+                }
+            }
+            assert_eq!(MemTest::check_static(&mut k, 7).unwrap(), 0);
+            contents
+        };
+        assert_eq!(final_state(true), final_state(false));
     }
 
     #[test]

@@ -53,6 +53,16 @@ cmp "$sc_ja" "$sc_jb"
 grep -q 'Rio/WT' "$sc_a"
 rm -f "$sc_a" "$sc_b" "$sc_ja" "$sc_jb"
 
+echo "== scaled Table 1 smoke (RIO_TRIALS=1, RIO_THREADS=1 vs 4) =="
+t1s_a="$(mktemp)"
+t1s_b="$(mktemp)"
+RIO_TRIALS=1 RIO_CLIENTS=1,4 RIO_THREADS=1 cargo run -q --release -p rio-bench --bin table1_scale > "$t1s_a"
+RIO_TRIALS=1 RIO_CLIENTS=1,4 RIO_THREADS=4 cargo run -q --release -p rio-bench --bin table1_scale > "$t1s_b"
+cmp "$t1s_a" "$t1s_b"
+grep -q 'disk-like band' "$t1s_a"
+grep -q 'mean in-flight syscalls' "$t1s_a"
+rm -f "$t1s_a" "$t1s_b"
+
 echo "== smoke write benchmark (RIO_BENCH_ITERS=5) =="
 smoke_json="$(mktemp)"
 RIO_BENCH_ITERS=5 RIO_BENCH_WARMUP=1 RIO_BENCH_JSON="$smoke_json" \
