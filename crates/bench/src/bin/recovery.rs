@@ -4,9 +4,12 @@
 //! ```text
 //! RIO_TRIALS=8 RIO_SEED=1996 RIO_THREADS=8 cargo run --release -p rio-bench --bin recovery
 //! ```
+//!
+//! `RIO_CHECKPOINT=0` disables the shared crashed-machine checkpoint and
+//! re-runs the pre-crash workload for every trial (byte-identical output).
 
 use rio_bench::env_u64;
-use rio_faults::RecoveryCampaignConfig;
+use rio_faults::{checkpoint_enabled_from_env, RecoveryCampaignConfig};
 use rio_harness::{render_recovery, run_recovery};
 
 fn main() {
@@ -23,6 +26,7 @@ fn main() {
 
     let cfg = RecoveryCampaignConfig {
         trials_per_cell: trials,
+        use_checkpoint: checkpoint_enabled_from_env(),
         ..paper
     };
     eprintln!(

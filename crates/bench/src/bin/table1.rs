@@ -1,15 +1,18 @@
 //! Regenerates Table 1 (reliability) — see DESIGN.md experiment index.
 //!
 //! ```text
-//! RIO_TRIALS=50 RIO_SEED=1996 RIO_THREADS=8 cargo run --release -p rio-bench --bin table1
+//! RIO_TRIALS=1000 RIO_SEED=1996 RIO_THREADS=8 cargo run --release -p rio-bench --bin table1
 //! ```
+//!
+//! `RIO_CHECKPOINT=0` disables the checkpoint-fork engine and boots every
+//! trial from scratch (same bytes out, ~50× slower trial preparation).
 
 use rio_bench::env_u64;
-use rio_faults::CampaignConfig;
+use rio_faults::{checkpoint_enabled_from_env, CampaignConfig};
 use rio_harness::{render_table1, run_table1};
 
 fn main() {
-    let trials = env_u64("RIO_TRIALS", 50);
+    let trials = env_u64("RIO_TRIALS", 1000);
     let seed = env_u64("RIO_SEED", 1996);
     let threads = env_u64(
         "RIO_THREADS",
@@ -21,11 +24,13 @@ fn main() {
 
     let cfg = CampaignConfig {
         trials_per_cell: trials,
+        use_checkpoint: checkpoint_enabled_from_env(),
         ..CampaignConfig::paper(seed)
     };
     eprintln!(
         "running crash campaign: 13 fault types x 3 systems x {trials} crashes \
-         (seed {seed}, {threads} threads)..."
+         (seed {seed}, {threads} threads, checkpoint {})...",
+        if cfg.use_checkpoint { "on" } else { "off" }
     );
     let started = std::time::Instant::now();
     let report = run_table1(&cfg, threads);

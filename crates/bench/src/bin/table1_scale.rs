@@ -6,10 +6,11 @@
 //! ```
 //!
 //! `RIO_CLIENTS` overrides the client-count sweep (comma-separated, e.g.
-//! `RIO_CLIENTS=1,4` for a CI smoke run).
+//! `RIO_CLIENTS=1,4` for a CI smoke run). `RIO_CHECKPOINT=0` disables the
+//! checkpoint-fork engine (byte-identical output, slower preparation).
 
 use rio_bench::env_u64;
-use rio_faults::ScaleCampaignConfig;
+use rio_faults::{checkpoint_enabled_from_env, ScaleCampaignConfig};
 use rio_harness::{render_table1_scale, run_table1_scale};
 
 fn main() {
@@ -25,6 +26,7 @@ fn main() {
 
     let mut cfg = ScaleCampaignConfig {
         trials_per_cell: trials,
+        use_checkpoint: checkpoint_enabled_from_env(),
         ..ScaleCampaignConfig::paper(seed)
     };
     if let Ok(spec) = std::env::var("RIO_CLIENTS") {

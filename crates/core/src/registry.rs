@@ -249,7 +249,11 @@ impl Registry {
         slot: u64,
     ) -> Result<Option<RegistryEntry>, RegistryError> {
         let addr = self.entry_addr(slot);
-        RegistryEntry::decode(mem.slice(addr, ENTRY_BYTES))
+        // 40-byte entries pack at stride 40, so some straddle a page
+        // boundary; copy out instead of borrowing.
+        let mut raw = [0u8; ENTRY_BYTES as usize];
+        mem.copy_out(addr, &mut raw);
+        RegistryEntry::decode(&raw)
     }
 
     /// Writes a slot through the protected path: opens a write window on

@@ -249,9 +249,9 @@ pub fn scan_registry(image: &PhysMem) -> Recovery {
 /// will quarantine it.
 fn commit_flag(image: &mut PhysMem, registry: &Registry, slot: u64, flag: EntryFlags) {
     let addr = registry.entry_addr(slot);
-    if let Ok(Some(mut entry)) =
-        RegistryEntry::decode(image.slice(addr, crate::registry::ENTRY_BYTES))
-    {
+    let mut raw = [0u8; crate::registry::ENTRY_BYTES as usize];
+    image.copy_out(addr, &mut raw);
+    if let Ok(Some(mut entry)) = RegistryEntry::decode(&raw) {
         entry.flags = entry.flags.with(flag);
         image.write_bytes(addr, &entry.encode());
     }

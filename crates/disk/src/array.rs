@@ -23,6 +23,7 @@
 //! FIFO disk remains the reference model for crash-precision experiments.
 
 use crate::model::{DiskModel, Positioning};
+use crate::sim::BlockBuf;
 use crate::time::SimTime;
 use std::collections::VecDeque;
 
@@ -50,7 +51,7 @@ struct Req {
     /// Global block number (what the caller addressed).
     global: u64,
     /// Payload for writes; `None` marks a read occupying head time.
-    data: Option<Vec<u8>>,
+    data: Option<BlockBuf>,
     /// Submitted as part of a forced-sequential stream.
     force_sequential: bool,
     /// Scheduled head start.
@@ -78,11 +79,11 @@ struct Device {
 }
 
 /// A write made durable by retirement: `(global block, payload)`.
-pub type RetiredWrite = (u64, Vec<u8>);
+pub type RetiredWrite = (u64, BlockBuf);
 
 /// A write torn by a crash: `(global block, payload)` — the caller applies
 /// the half-old/half-new tear.
-pub type TornWrite = (u64, Vec<u8>);
+pub type TornWrite = (u64, BlockBuf);
 
 /// The striped request plane. See the module docs for the model.
 #[derive(Debug, Clone)]
@@ -172,7 +173,7 @@ impl DiskArray {
     pub fn submit_write(
         &mut self,
         block: u64,
-        data: Vec<u8>,
+        data: BlockBuf,
         now: SimTime,
         force_sequential: bool,
         model: &DiskModel,
@@ -200,7 +201,7 @@ impl DiskArray {
         now: SimTime,
         force_sequential: bool,
         model: &DiskModel,
-    ) -> (Option<Vec<u8>>, SimTime) {
+    ) -> (Option<BlockBuf>, SimTime) {
         let dev = self.device_of(block);
         let inner = self.inner_of(block);
         // Read-after-write: the latest queued write to this block wins.
@@ -350,8 +351,8 @@ mod tests {
         DiskModel::paper_scsi()
     }
 
-    fn block_of(byte: u8) -> Vec<u8> {
-        vec![byte; BLOCK_SIZE]
+    fn block_of(byte: u8) -> BlockBuf {
+        std::sync::Arc::new([byte; BLOCK_SIZE])
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::array::{DiskArray, DEV_QUEUE_DEPTH};
 use crate::model::{DiskModel, Positioning};
 use crate::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// An injected per-block I/O fault (recovery-path fault model).
 ///
@@ -44,11 +45,40 @@ impl std::error::Error for DiskIoError {}
 /// Disk block size in bytes — one 8 KB page, matching the file cache.
 pub const BLOCK_SIZE: usize = 8192;
 
+/// One shared block buffer. Platter contents and queued payloads are held
+/// behind [`Arc`] so cloning a whole [`SimDisk`] — which the crash
+/// campaign's checkpoint engine does once per trial — copies a pointer
+/// table, not 16 MB of block data. Writes go copy-on-write through
+/// [`Arc::make_mut`]; buffers that turn out to be unshared are recycled
+/// through the free list exactly as the old owned buffers were.
+pub type BlockBuf = Arc<[u8; BLOCK_SIZE]>;
+
+/// Pops a free-list buffer that is safe to overwrite (uniquely owned), or
+/// allocates a fresh one. Shared buffers (a checkpoint still references
+/// them) are dropped, not reused.
+fn writable_buf(free: &mut Vec<BlockBuf>) -> BlockBuf {
+    while let Some(mut b) = free.pop() {
+        if Arc::get_mut(&mut b).is_some() {
+            return b;
+        }
+    }
+    Arc::new([0u8; BLOCK_SIZE])
+}
+
+/// A [`BlockBuf`] holding a copy of `data`, recycling from `free`.
+fn buf_from(free: &mut Vec<BlockBuf>, data: &[u8]) -> BlockBuf {
+    let mut buf = writable_buf(free);
+    Arc::get_mut(&mut buf)
+        .expect("writable_buf returns unique buffers")
+        .copy_from_slice(data);
+    buf
+}
+
 /// One asynchronous write making its way to the platter.
 #[derive(Debug, Clone)]
 struct PendingWrite {
     block: u64,
-    data: Vec<u8>,
+    data: BlockBuf,
     /// When the head starts writing this request.
     start: SimTime,
     /// When the request is durable.
@@ -85,13 +115,13 @@ pub struct DiskStats {
 #[derive(Debug, Clone)]
 pub struct SimDisk {
     model: DiskModel,
-    blocks: Vec<Vec<u8>>,
+    blocks: Vec<BlockBuf>,
     /// Blocks corrupted by a mid-write crash; cleared when rewritten.
     torn: Vec<bool>,
     pending: VecDeque<PendingWrite>,
     /// Retired block buffers, recycled by [`SimDisk::submit_write_from`] so
     /// the steady-state write path performs one copy and no allocation.
-    free: Vec<Vec<u8>>,
+    free: Vec<BlockBuf>,
     /// When the head finishes its last accepted request.
     busy_until: SimTime,
     /// Block number of the last request (sequential detection).
@@ -110,9 +140,14 @@ pub struct SimDisk {
 impl SimDisk {
     /// A disk with `num_blocks` zeroed blocks.
     pub fn new(num_blocks: u64, model: DiskModel) -> Self {
+        // Every block shares one zeroed buffer until first written — a
+        // fresh 16 MB disk costs one 8 KB allocation. The shared `Arc` is
+        // the point (writes replace the pointer, never the buffer), hence
+        // the lint allow.
+        #[allow(clippy::rc_clone_in_vec_init)]
         SimDisk {
             model,
-            blocks: vec![vec![0u8; BLOCK_SIZE]; num_blocks as usize],
+            blocks: vec![Arc::new([0u8; BLOCK_SIZE]); num_blocks as usize],
             torn: vec![false; num_blocks as usize],
             pending: VecDeque::new(),
             free: Vec::new(),
@@ -194,7 +229,7 @@ impl SimDisk {
     }
 
     /// Makes durable the retired writes a striped array hands back.
-    fn apply_retired(&mut self, retired: Vec<(u64, Vec<u8>)>) {
+    fn apply_retired(&mut self, retired: Vec<(u64, BlockBuf)>) {
         for (block, data) in retired {
             let old = std::mem::replace(&mut self.blocks[block as usize], data);
             self.free.push(old);
@@ -247,7 +282,8 @@ impl SimDisk {
         force_sequential: bool,
     ) -> SimTime {
         assert_eq!(data.len(), BLOCK_SIZE, "write must be one full block");
-        self.submit_pending(block, data, now, force_sequential)
+        let buf = buf_from(&mut self.free, &data);
+        self.submit_pending(block, buf, now, force_sequential)
     }
 
     /// [`SimDisk::submit_write`] from a borrowed buffer: the single copy
@@ -266,15 +302,14 @@ impl SimDisk {
         force_sequential: bool,
     ) -> SimTime {
         assert_eq!(data.len(), BLOCK_SIZE, "write must be one full block");
-        let mut buf = self.free.pop().unwrap_or_else(|| vec![0u8; BLOCK_SIZE]);
-        buf.copy_from_slice(data);
+        let buf = buf_from(&mut self.free, data);
         self.submit_pending(block, buf, now, force_sequential)
     }
 
     fn submit_pending(
         &mut self,
         block: u64,
-        data: Vec<u8>,
+        data: BlockBuf,
         now: SimTime,
         force_sequential: bool,
     ) -> SimTime {
@@ -302,7 +337,7 @@ impl SimDisk {
     fn submit_striped(
         &mut self,
         block: u64,
-        data: Vec<u8>,
+        data: BlockBuf,
         now: SimTime,
         force_sequential: bool,
     ) -> SimTime {
@@ -338,7 +373,11 @@ impl SimDisk {
             self.stats.reads += 1;
             self.stats.bytes_read += BLOCK_SIZE as u64;
             self.apply_retired(retired);
-            let data = pending.unwrap_or_else(|| self.blocks[block as usize].clone());
+            let data = pending
+                .as_deref()
+                .map(|b| &b[..])
+                .unwrap_or(&self.blocks[block as usize][..])
+                .to_vec();
             return (data, end);
         }
         self.apply_completed(now);
@@ -355,8 +394,9 @@ impl SimDisk {
             .iter()
             .rev()
             .find(|w| w.block == block)
-            .map(|w| w.data.clone())
-            .unwrap_or_else(|| self.blocks[block as usize].clone());
+            .map(|w| &w.data[..])
+            .unwrap_or(&self.blocks[block as usize][..])
+            .to_vec();
         (data, end)
     }
 
@@ -420,7 +460,8 @@ impl SimDisk {
             self.apply_retired(hardened);
             for (block, data) in torn {
                 let half = BLOCK_SIZE / 2;
-                self.blocks[block as usize][..half].copy_from_slice(&data[..half]);
+                Arc::make_mut(&mut self.blocks[block as usize])[..half]
+                    .copy_from_slice(&data[..half]);
                 self.torn[block as usize] = true;
                 self.stats.blocks_torn_at_crash += 1;
                 self.free.push(data);
@@ -438,7 +479,8 @@ impl SimDisk {
             }
             if w.start < now && now < w.end {
                 let half = BLOCK_SIZE / 2;
-                self.blocks[w.block as usize][..half].copy_from_slice(&w.data[..half]);
+                Arc::make_mut(&mut self.blocks[w.block as usize])[..half]
+                    .copy_from_slice(&w.data[..half]);
                 self.torn[w.block as usize] = true;
                 self.stats.blocks_torn_at_crash += 1;
             } else {
@@ -457,7 +499,7 @@ impl SimDisk {
     /// Post-crash raw block contents (no timing, no queue) — used by
     /// recovery and by corruption checks.
     pub fn peek(&self, block: u64) -> &[u8] {
-        &self.blocks[block as usize]
+        &self.blocks[block as usize][..]
     }
 
     /// Direct block write without timing — used by mkfs and by warm reboot's
@@ -465,7 +507,15 @@ impl SimDisk {
     /// timing is not being measured.
     pub fn poke(&mut self, block: u64, data: &[u8]) {
         assert_eq!(data.len(), BLOCK_SIZE);
-        self.blocks[block as usize].copy_from_slice(data);
+        // Full overwrite: reuse the buffer in place when unshared, else
+        // swap in a writable one (no point copying the old contents first).
+        match Arc::get_mut(&mut self.blocks[block as usize]) {
+            Some(b) => b.copy_from_slice(data),
+            None => {
+                let buf = buf_from(&mut self.free, data);
+                self.blocks[block as usize] = buf;
+            }
+        }
         self.torn[block as usize] = false;
     }
 
@@ -475,7 +525,7 @@ impl SimDisk {
     pub fn poke_torn(&mut self, block: u64, data: &[u8]) {
         assert_eq!(data.len(), BLOCK_SIZE);
         let half = BLOCK_SIZE / 2;
-        self.blocks[block as usize][..half].copy_from_slice(&data[..half]);
+        Arc::make_mut(&mut self.blocks[block as usize])[..half].copy_from_slice(&data[..half]);
         self.torn[block as usize] = true;
         self.stats.blocks_torn_at_crash += 1;
     }

@@ -15,11 +15,13 @@
 //! in attempt order, producing output byte-identical to the serial
 //! [`run_campaign`] at any thread count.
 
-use crate::inject::{inject, FaultType};
+use crate::checkpoint::{CheckpointStore, TrialCheckpoint};
+use crate::driver::{drive, workload_seed, PreparedTrial, TrialObservation, TrialVerdict};
+use crate::inject::FaultType;
 use rio_core::RioMode;
-use rio_det::{derive_seed3, DetRng};
-use rio_kernel::{Kernel, KernelConfig, KernelError, Policy};
-use rio_workloads::{MemTest, MemTestConfig};
+use rio_det::derive_seed3;
+use rio_kernel::Policy;
+use rio_workloads::MemTestConfig;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -270,6 +272,10 @@ pub struct CampaignConfig {
     pub watchdog_ops: u64,
     /// Cap on attempts per crash collected (discarded runs cost time).
     pub max_attempts_factor: u64,
+    /// Fork each trial from a per-cell steady-state checkpoint instead of
+    /// booting from scratch (identical results either way; see
+    /// [`crate::checkpoint`]). `RIO_CHECKPOINT=0` is the CLI escape hatch.
+    pub use_checkpoint: bool,
 }
 
 impl CampaignConfig {
@@ -281,6 +287,7 @@ impl CampaignConfig {
             warmup_ops: 40,
             watchdog_ops: 400,
             max_attempts_factor: 6,
+            use_checkpoint: true,
         }
     }
 
@@ -292,6 +299,7 @@ impl CampaignConfig {
             warmup_ops: 60,
             watchdog_ops: 800,
             max_attempts_factor: 8,
+            use_checkpoint: true,
         }
     }
 
@@ -310,11 +318,35 @@ pub fn trial_seed(campaign_seed: u64, fault: FaultType, system: SystemKind, atte
     derive_seed3(campaign_seed, fault as u64, system as u64, attempt)
 }
 
+/// Maps a driver observation onto the campaign's outcome enum.
+fn outcome_from(obs: TrialObservation) -> TrialOutcome {
+    match obs.verdict {
+        TrialVerdict::Wedged => TrialOutcome::Wedged,
+        TrialVerdict::NoCrash => TrialOutcome::NoCrash,
+        TrialVerdict::Crashed => TrialOutcome::Crashed {
+            corrupted: obs.damage > 0,
+            damage: obs.damage,
+            checksum_detected: obs.checksum_detected,
+            protection_trap: obs.protection_trap,
+            message: obs.message.unwrap_or_default(),
+            ops_before_crash: obs.ops_before_crash,
+            torn_data_blocks: obs.torn_data_blocks,
+            quarantined: obs.quarantined,
+        },
+    }
+}
+
 /// Runs one trial: boot, warm up, inject, run to crash, reboot, verify.
 ///
 /// The trial owns its entire simulated machine (CPU, physical memory,
 /// disk); nothing is shared with other trials, which is what makes the
 /// campaign safely parallel.
+///
+/// Legacy single-seed entry point: the one seed feeds both streams exactly
+/// as it always did (workload = `seed ^ 0x5EED`, injection = `seed`), so
+/// results are bit-compatible with the pre-checkpoint campaign. Campaigns
+/// use the split [`workload_seed`]/[`trial_seed`] streams instead so that
+/// trials can share a steady-state checkpoint.
 pub fn run_trial(
     system: SystemKind,
     fault: FaultType,
@@ -322,119 +354,20 @@ pub fn run_trial(
     warmup_ops: u64,
     watchdog_ops: u64,
 ) -> TrialOutcome {
-    let mut rng = DetRng::seed_from_u64(seed);
-    let policy = system.policy();
-    let config = KernelConfig::small(policy);
-    let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
-        return TrialOutcome::Wedged;
-    };
-    let mt_cfg = system.memtest_config(seed ^ 0x5EED);
-    let mut mt = MemTest::new(mt_cfg.clone());
-    if mt.setup(&mut k).is_err() {
-        return TrialOutcome::Wedged;
-    }
-    if mt.run(&mut k, warmup_ops).is_err() {
-        return TrialOutcome::Wedged; // crashed before injection: not a trial
-    }
+    let prepared = PreparedTrial::prepare(system, seed ^ 0x5EED, warmup_ops);
+    outcome_from(drive(prepared, fault, seed, watchdog_ops))
+}
 
-    inject(&mut k, fault, &mut rng);
-
-    // Run until crash or watchdog.
-    let mut crashed = false;
-    for _ in 0..watchdog_ops {
-        match mt.step(&mut k) {
-            Ok(()) => {}
-            Err(KernelError::Panic(_)) | Err(KernelError::Crashed) => {
-                crashed = true;
-                break;
-            }
-            Err(_) => return TrialOutcome::Wedged,
-        }
-    }
-    if !crashed {
-        return TrialOutcome::NoCrash;
-    }
-
-    let info = k.crash_info().expect("crashed").clone();
-    let message = info.reason.message();
-    let protection_trap = info.reason.is_protection_trap();
-    let ops = mt.ops_done();
-
-    // Reboot and examine, exactly as §3.2 prescribes: replay memTest to the
-    // crash point and compare.
-    let (image, disk) = k.into_crash_artifacts();
-    let (mut k2, checksum_detected, torn_data_blocks, quarantined) = match system {
-        SystemKind::DiskBased => match Kernel::cold_boot(&config, disk) {
-            Ok((k2, report)) => (k2, false, report.fsck.torn_data_blocks, 0),
-            Err(_) => {
-                // Unmountable: total loss.
-                return TrialOutcome::Crashed {
-                    corrupted: true,
-                    damage: usize::MAX,
-                    checksum_detected: false,
-                    protection_trap,
-                    message,
-                    ops_before_crash: ops,
-                    torn_data_blocks: 0,
-                    quarantined: 0,
-                };
-            }
-        },
-        _ => match Kernel::warm_boot(&config, &image, disk) {
-            Ok((k2, report)) => {
-                let warm = report.warm.expect("warm boot stats");
-                let quarantined = warm.quarantined();
-                (
-                    k2,
-                    warm.dropped_bad_crc > 0,
-                    report.fsck.torn_data_blocks,
-                    quarantined,
-                )
-            }
-            Err(_) => {
-                return TrialOutcome::Crashed {
-                    corrupted: true,
-                    damage: usize::MAX,
-                    checksum_detected: false,
-                    protection_trap,
-                    message,
-                    ops_before_crash: ops,
-                    torn_data_blocks: 0,
-                    quarantined: 0,
-                };
-            }
-        },
-    };
-
-    let (expected, next_target) = MemTest::replay(&mt_cfg, ops);
-    let verify = match expected.verify(&mut k2, Some(next_target.as_str())) {
-        Ok(v) => v,
-        Err(_) => {
-            // The rebooted system crashed during verification: corrupt.
-            return TrialOutcome::Crashed {
-                corrupted: true,
-                damage: usize::MAX,
-                checksum_detected,
-                protection_trap,
-                message,
-                ops_before_crash: ops,
-                torn_data_blocks,
-                quarantined,
-            };
-        }
-    };
-    let static_bad = MemTest::check_static(&mut k2, mt_cfg.seed).unwrap_or(6);
-    let damage = verify.damage_count() + static_bad as usize;
-    TrialOutcome::Crashed {
-        corrupted: damage > 0,
-        damage,
-        checksum_detected,
-        protection_trap,
-        message,
-        ops_before_crash: ops,
-        torn_data_blocks,
-        quarantined,
-    }
+/// Runs one trial forked from a steady-state checkpoint, drawing faults
+/// from `inject_seed`. Byte-identical to a scratch trial prepared with the
+/// same workload seed and warmup.
+pub fn run_trial_from(
+    checkpoint: &TrialCheckpoint,
+    fault: FaultType,
+    inject_seed: u64,
+    watchdog_ops: u64,
+) -> TrialOutcome {
+    outcome_from(drive(checkpoint.fork(), fault, inject_seed, watchdog_ops))
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -446,20 +379,12 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "unknown panic".to_owned())
 }
 
-/// [`run_trial`] with a firewall: a trial that panics (a harness bug, not
-/// a simulated crash) is recorded as a corrupted crashed run instead of
-/// unwinding into the worker pool and poisoning the campaign mutex.
-pub fn run_trial_caught(
-    system: SystemKind,
-    fault: FaultType,
-    seed: u64,
-    warmup_ops: u64,
-    watchdog_ops: u64,
-) -> TrialOutcome {
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run_trial(system, fault, seed, warmup_ops, watchdog_ops)
-    }))
-    .unwrap_or_else(|payload| {
+/// Runs a trial closure behind a panic firewall: a trial that panics (a
+/// harness bug, not a simulated crash) is recorded as a corrupted crashed
+/// run instead of unwinding into the worker pool and poisoning the
+/// campaign mutex.
+fn firewall(trial: impl FnOnce() -> TrialOutcome) -> TrialOutcome {
+    let outcome = catch_unwind(AssertUnwindSafe(trial)).unwrap_or_else(|payload| {
         // Surface the swallowed panic text to any open trace session as
         // well as to the outcome message, so the Table 1 footer's
         // unique-crash-messages count and a forensic trace agree.
@@ -495,6 +420,41 @@ pub fn run_trial_caught(
     outcome
 }
 
+/// [`run_trial`] behind the panic firewall (legacy single-seed form).
+pub fn run_trial_caught(
+    system: SystemKind,
+    fault: FaultType,
+    seed: u64,
+    warmup_ops: u64,
+    watchdog_ops: u64,
+) -> TrialOutcome {
+    firewall(|| run_trial(system, fault, seed, warmup_ops, watchdog_ops))
+}
+
+/// Runs one campaign trial at its grid coordinates: the workload comes
+/// from the per-cell stream, the faults from the per-trial stream. With a
+/// `store`, the steady point is forked from the cell's checkpoint;
+/// without one, it is rebuilt from scratch — both feed the identical
+/// [`drive`] tail, so the outcome is the same either way (the
+/// `RIO_CHECKPOINT=0` escape hatch that verify.sh gates).
+fn run_grid_trial(
+    cfg: &CampaignConfig,
+    store: Option<&CheckpointStore>,
+    fault: FaultType,
+    system: SystemKind,
+    attempt: u64,
+) -> TrialOutcome {
+    let wl = workload_seed(cfg.seed, system);
+    let inj = trial_seed(cfg.seed, fault, system, attempt);
+    firewall(|| {
+        let prepared = match store {
+            Some(store) => store.get_or_capture(system, wl, cfg.warmup_ops).fork(),
+            None => PreparedTrial::prepare(system, wl, cfg.warmup_ops),
+        };
+        outcome_from(drive(prepared, fault, inj, cfg.watchdog_ops))
+    })
+}
+
 /// Locks a mutex, tolerating poison: per-trial state is only written under
 /// short critical sections that cannot be left half-updated, so a poisoned
 /// lock (a worker died outside the trial firewall) is still usable.
@@ -519,9 +479,10 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     mut progress: impl FnMut(&CellResult),
 ) -> CampaignResult {
+    let store = cfg.use_checkpoint.then(CheckpointStore::new);
     let mut cells = Vec::new();
     for (fault, system) in grid() {
-        let cell = run_cell(cfg, fault, system);
+        let cell = run_cell(cfg, store.as_ref(), fault, system);
         progress(&cell);
         cells.push(cell);
     }
@@ -532,19 +493,17 @@ pub fn run_campaign(
 }
 
 /// Runs one (fault, system) cell to completion, serially.
-fn run_cell(cfg: &CampaignConfig, fault: FaultType, system: SystemKind) -> CellResult {
+fn run_cell(
+    cfg: &CampaignConfig,
+    store: Option<&CheckpointStore>,
+    fault: FaultType,
+    system: SystemKind,
+) -> CellResult {
     let mut cell = CellResult::empty(fault, system);
     let mut attempt = 0u64;
     while cell.crashes < cfg.trials_per_cell && attempt < cfg.max_attempts() {
-        let seed = trial_seed(cfg.seed, fault, system, attempt);
+        cell.absorb(run_grid_trial(cfg, store, fault, system, attempt));
         attempt += 1;
-        cell.absorb(run_trial_caught(
-            system,
-            fault,
-            seed,
-            cfg.warmup_ops,
-            cfg.watchdog_ops,
-        ));
     }
     cell
 }
@@ -682,6 +641,7 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
     if threads == 1 {
         return run_campaign(cfg, |_| {});
     }
+    let store = cfg.use_checkpoint.then(CheckpointStore::new);
     let state = Mutex::new(Scheduler::new(threads));
     let wake = Condvar::new();
     std::thread::scope(|scope| {
@@ -713,9 +673,7 @@ pub fn run_campaign_parallel(cfg: &CampaignConfig, threads: usize) -> CampaignRe
                     let s = lock_tolerant(&state);
                     (s.cells[idx].fault, s.cells[idx].system)
                 };
-                let seed = trial_seed(cfg.seed, fault, system, attempt);
-                let outcome =
-                    run_trial_caught(system, fault, seed, cfg.warmup_ops, cfg.watchdog_ops);
+                let outcome = run_grid_trial(cfg, store.as_ref(), fault, system, attempt);
                 let mut s = lock_tolerant(&state);
                 s.complete(idx, attempt, outcome, cfg);
                 drop(s);
@@ -839,6 +797,7 @@ mod tests {
             warmup_ops: 20,
             watchdog_ops: 150,
             max_attempts_factor: 4,
+            use_checkpoint: true,
         };
         let mut cells_seen = 0;
         let result = run_campaign(&cfg, |_| cells_seen += 1);
@@ -854,6 +813,30 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_and_scratch_campaigns_agree_exactly() {
+        let mut cfg = CampaignConfig {
+            trials_per_cell: 1,
+            seed: 41,
+            warmup_ops: 15,
+            watchdog_ops: 120,
+            max_attempts_factor: 2,
+            use_checkpoint: true,
+        };
+        let forked = run_campaign(&cfg, |_| {});
+        cfg.use_checkpoint = false;
+        let scratch = run_campaign(&cfg, |_| {});
+        for (a, b) in forked.cells.iter().zip(&scratch.cells) {
+            assert_eq!(a.crashes, b.crashes, "{} / {}", a.fault, a.system);
+            assert_eq!(a.corruptions, b.corruptions, "{} / {}", a.fault, a.system);
+            assert_eq!(a.discarded, b.discarded, "{} / {}", a.fault, a.system);
+            assert_eq!(a.protection_traps, b.protection_traps);
+            assert_eq!(a.torn_data_blocks, b.torn_data_blocks);
+            assert_eq!(a.quarantined, b.quarantined);
+            assert_eq!(a.messages, b.messages);
+        }
+    }
+
+    #[test]
     fn parallel_campaign_matches_serial_exactly() {
         let cfg = CampaignConfig {
             trials_per_cell: 2,
@@ -861,6 +844,7 @@ mod tests {
             warmup_ops: 15,
             watchdog_ops: 120,
             max_attempts_factor: 3,
+            use_checkpoint: true,
         };
         let serial = run_campaign(&cfg, |_| {});
         let parallel = run_campaign_parallel(&cfg, 4);

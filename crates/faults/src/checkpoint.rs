@@ -1,0 +1,128 @@
+//! The steady-state checkpoint/fork engine.
+//!
+//! A Table 1 trial spends most of its setup cost reaching the **steady
+//! point**: mkfs, mount, memTest setup, and the warmup workload. With the
+//! workload/injection seed split ([`crate::driver`]), that whole prefix is
+//! identical for every trial in a `(campaign seed, system)` cell — so it
+//! is captured once as a [`TrialCheckpoint`] and *forked* per trial.
+//! Copy-on-write memory pages and disk blocks make the fork O(metadata):
+//! microseconds against the tens of milliseconds a scratch boot costs
+//! (the ratio is recorded in `BENCH_campaign.json`).
+//!
+//! Equivalence with the scratch path is structural: both paths produce a
+//! [`crate::driver::PreparedTrial`] — one via [`PreparedTrial::prepare`],
+//! one via a clone of the same — and hand it to the same
+//! [`crate::driver::drive`]. The proptest suite and the verify.sh
+//! `RIO_CHECKPOINT=0` vs `=1` smoke gate that the two are byte-identical.
+
+use crate::campaign::SystemKind;
+use crate::driver::PreparedTrial;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A frozen steady point for one campaign cell.
+#[derive(Debug, Clone)]
+pub struct TrialCheckpoint {
+    prepared: PreparedTrial,
+}
+
+impl TrialCheckpoint {
+    /// Boots and warms up a fresh machine, then freezes it. Pure function
+    /// of its arguments — capturing twice gives interchangeable
+    /// checkpoints.
+    pub fn capture(system: SystemKind, workload_seed: u64, warmup_ops: u64) -> TrialCheckpoint {
+        TrialCheckpoint {
+            prepared: PreparedTrial::prepare(system, workload_seed, warmup_ops),
+        }
+    }
+
+    /// Whether the captured boot/warmup failed (every fork is then a
+    /// wedged trial, exactly as every scratch attempt would be).
+    pub fn wedged(&self) -> bool {
+        self.prepared.wedged()
+    }
+
+    /// A copy-on-write fork of the steady point — the per-trial cost of
+    /// the checkpoint path.
+    pub fn fork(&self) -> PreparedTrial {
+        self.prepared.fork()
+    }
+}
+
+/// A concurrency-safe memo: capture-once, share-forever. Workers racing
+/// for the same key serialize on the mutex; the first one in captures
+/// while the rest wait, so each cell's steady point is built exactly once
+/// per campaign regardless of thread count.
+pub(crate) struct Memo<K, V> {
+    map: Mutex<BTreeMap<K, Arc<V>>>,
+}
+
+impl<K: Ord + Clone, V> Memo<K, V> {
+    pub(crate) fn new() -> Memo<K, V> {
+        Memo {
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    pub(crate) fn get_or_insert_with(&self, key: K, f: impl FnOnce() -> V) -> Arc<V> {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        map.entry(key).or_insert_with(|| Arc::new(f())).clone()
+    }
+}
+
+/// Lazily captured checkpoints for the Table 1 grid, shared across the
+/// campaign's worker threads. Keyed by `(system, workload seed, warmup
+/// ops)`, so one store can serve mixed configurations.
+pub struct CheckpointStore {
+    cells: Memo<(u64, u64, u64), TrialCheckpoint>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore { cells: Memo::new() }
+    }
+
+    /// The checkpoint for one cell, capturing it on first use.
+    pub fn get_or_capture(
+        &self,
+        system: SystemKind,
+        workload_seed: u64,
+        warmup_ops: u64,
+    ) -> Arc<TrialCheckpoint> {
+        self.cells
+            .get_or_insert_with((system as u64, workload_seed, warmup_ops), || {
+                TrialCheckpoint::capture(system, workload_seed, warmup_ops)
+            })
+    }
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
+}
+
+/// Reads the `RIO_CHECKPOINT` escape hatch: `0` forces the scratch path,
+/// anything else (including unset) enables checkpoint forking.
+pub fn checkpoint_enabled_from_env() -> bool {
+    std::env::var("RIO_CHECKPOINT").map(|v| v != "0").unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::workload_seed;
+
+    #[test]
+    fn store_captures_each_cell_once() {
+        let store = CheckpointStore::new();
+        let wl = workload_seed(5, SystemKind::RioWithProtection);
+        let a = store.get_or_capture(SystemKind::RioWithProtection, wl, 10);
+        let b = store.get_or_capture(SystemKind::RioWithProtection, wl, 10);
+        assert!(Arc::ptr_eq(&a, &b), "same cell must share one capture");
+        let c = store.get_or_capture(SystemKind::DiskBased, wl, 10);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!a.wedged());
+    }
+}

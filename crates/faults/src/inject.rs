@@ -139,10 +139,12 @@ fn patch_decoded(
     f: impl FnOnce(&mut Instr, &mut DetRng),
     rng: &mut DetRng,
 ) {
-    let store = k.machine.store.clone();
-    if let Ok(mut instr) = store.read_instr(k.machine.bus.mem(), idx) {
+    // `store` and `bus` are disjoint `Machine` fields, so the routine
+    // directory can patch text in place without being cloned first.
+    let m = &mut k.machine;
+    if let Ok(mut instr) = m.store.read_instr(m.bus.mem(), idx) {
         f(&mut instr, rng);
-        store.patch_instr(k.machine.bus.mem_mut(), idx, instr);
+        m.store.patch_instr(m.bus.mem_mut(), idx, instr);
     }
 }
 
@@ -227,11 +229,11 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
         }
         FaultType::DeleteBranch => {
             // Collect branch positions, then NOP a sample of them.
-            let store = k.machine.store.clone();
-            let branches: Vec<u64> = (0..store.installed_instrs())
+            let m = &mut k.machine;
+            let branches: Vec<u64> = (0..m.store.installed_instrs())
                 .filter(|&i| {
-                    store
-                        .read_instr(k.machine.bus.mem(), i)
+                    m.store
+                        .read_instr(m.bus.mem(), i)
                         .map(|ins| ins.op.is_branch())
                         .unwrap_or(false)
                 })
@@ -241,27 +243,28 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                     break;
                 }
                 let idx = branches[rng.gen_range(0..branches.len())];
-                store.patch_instr(k.machine.bus.mem_mut(), idx, Instr::nop());
+                m.store.patch_instr(m.bus.mem_mut(), idx, Instr::nop());
                 trace_fault(rio_obs::Payload::Count { value: idx });
             }
         }
         FaultType::DeleteRandomInst => {
-            let store = k.machine.store.clone();
+            let m = &mut k.machine;
             for _ in 0..FAULTS_PER_RUN {
-                let idx = random_instr_index(k, rng);
-                store.patch_instr(k.machine.bus.mem_mut(), idx, Instr::nop());
+                let idx = rng.gen_range(0..m.store.installed_instrs());
+                m.store.patch_instr(m.bus.mem_mut(), idx, Instr::nop());
                 trace_fault(rio_obs::Payload::Count { value: idx });
             }
         }
         FaultType::Initialization => {
             // Delete the register-initializing prologue of routines
             // ([Kao93], [Lee93]): the first couple of instructions.
-            let store = k.machine.store.clone();
-            let routines: Vec<_> = store.routines().map(|(_, h)| h).collect();
+            let m = &mut k.machine;
+            let routines: Vec<_> = m.store.routines().map(|(_, h)| h).collect();
             for _ in 0..FAULTS_PER_RUN.min(routines.len() * 2) {
                 let h = routines[rng.gen_range(0..routines.len())];
                 let off = rng.gen_range(0..2.min(h.len));
-                store.patch_instr(k.machine.bus.mem_mut(), h.first_index + off, Instr::nop());
+                m.store
+                    .patch_instr(m.bus.mem_mut(), h.first_index + off, Instr::nop());
                 trace_fault(rio_obs::Payload::Count {
                     value: h.first_index + off,
                 });
@@ -270,10 +273,10 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
         FaultType::Pointer => {
             // Find a load/store; delete the most recent earlier instruction
             // that modifies its base register ([Sullivan91b], [Lee93]).
-            let store = k.machine.store.clone();
+            let m = &mut k.machine;
             for _ in 0..FAULTS_PER_RUN {
-                let idx = random_instr_index(k, rng);
-                let Ok(ins) = store.read_instr(k.machine.bus.mem(), idx) else {
+                let idx = rng.gen_range(0..m.store.installed_instrs());
+                let Ok(ins) = m.store.read_instr(m.bus.mem(), idx) else {
                     continue;
                 };
                 if !ins.op.is_mem() {
@@ -284,14 +287,14 @@ pub fn inject(k: &mut Kernel, fault: FaultType, rng: &mut DetRng) {
                 let mut j = idx;
                 while j > 0 {
                     j -= 1;
-                    if let Ok(prev) = store.read_instr(k.machine.bus.mem(), j) {
+                    if let Ok(prev) = m.store.read_instr(m.bus.mem(), j) {
                         let writes_base = prev.rd == base
                             && !matches!(
                                 prev.op,
                                 Opcode::St8 | Opcode::St64 | Opcode::Chk | Opcode::Halt
                             );
                         if writes_base {
-                            store.patch_instr(k.machine.bus.mem_mut(), j, Instr::nop());
+                            m.store.patch_instr(m.bus.mem_mut(), j, Instr::nop());
                             trace_fault(rio_obs::Payload::Count { value: j });
                             break;
                         }
@@ -396,10 +399,10 @@ mod tests {
         let mut k = kernel();
         let base = k.machine.store.text_base();
         let len = k.machine.store.installed_instrs() * INSTR_BYTES;
-        let before = k.machine.bus.mem().slice(base, len).to_vec();
+        let before = k.machine.bus.mem().to_vec(base, len);
         let mut rng = DetRng::seed_from_u64(2);
         inject(&mut k, FaultType::KernelText, &mut rng);
-        let after = k.machine.bus.mem().slice(base, len).to_vec();
+        let after = k.machine.bus.mem().to_vec(base, len);
         assert_ne!(before, after);
     }
 
@@ -420,12 +423,12 @@ mod tests {
     #[test]
     fn delete_branch_removes_branches() {
         let mut k = kernel();
-        let store = k.machine.store.clone();
         let count_branches = |k: &Kernel| {
-            (0..store.installed_instrs())
+            let m = &k.machine;
+            (0..m.store.installed_instrs())
                 .filter(|&i| {
-                    store
-                        .read_instr(k.machine.bus.mem(), i)
+                    m.store
+                        .read_instr(m.bus.mem(), i)
                         .map(|ins| ins.op.is_branch())
                         .unwrap_or(false)
                 })
@@ -445,7 +448,7 @@ mod tests {
             inject(&mut k, FaultType::SourceReg, &mut rng);
             let base = k.machine.store.text_base();
             let len = k.machine.store.installed_instrs() * INSTR_BYTES;
-            k.machine.bus.mem().slice(base, len).to_vec()
+            k.machine.bus.mem().to_vec(base, len)
         };
         assert_eq!(snapshot(7), snapshot(7));
         assert_ne!(snapshot(7), snapshot(8));

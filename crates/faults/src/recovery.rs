@@ -262,6 +262,10 @@ pub struct RecoveryCampaignConfig {
     pub warmup_ops: u64,
     /// Maximum second-crash depth (columns k = 1..=max_depth).
     pub max_depth: u64,
+    /// Capture the first-crash artifacts once per campaign and fork them
+    /// per trial instead of re-warming per trial (identical results
+    /// either way; `RIO_CHECKPOINT=0` is the CLI escape hatch).
+    pub use_checkpoint: bool,
 }
 
 impl RecoveryCampaignConfig {
@@ -272,6 +276,7 @@ impl RecoveryCampaignConfig {
             seed,
             warmup_ops: 30,
             max_depth: 3,
+            use_checkpoint: true,
         }
     }
 
@@ -282,8 +287,17 @@ impl RecoveryCampaignConfig {
             seed,
             warmup_ops: 60,
             max_depth: 3,
+            use_checkpoint: true,
         }
     }
+}
+
+/// The per-campaign workload seed of the recovery campaign: every trial
+/// crashes the *same* warmed-up kernel (the scenarios and second crashes
+/// are all per-trial), so the first-crash artifacts are captured once.
+pub fn recovery_workload_seed(campaign_seed: u64) -> u64 {
+    const RECOVERY_WORKLOAD_STREAM: u64 = 0x57EA_D75E_ED00_0003;
+    derive_seed3(campaign_seed, RECOVERY_WORKLOAD_STREAM, 0, 0)
 }
 
 /// Seed of one recovery trial: pure function of its grid coordinates.
@@ -359,26 +373,69 @@ fn park(mut kernel: Kernel) -> Option<SimDisk> {
     Some(kernel.machine.disk.clone())
 }
 
+/// The first-crash artifacts, frozen: a warmed-up kernel died with a
+/// dirty file cache, leaving the preserved memory image and the disk.
+/// Everything per-trial (scenario damage, second-crash points) happens
+/// *after* this state, so one capture serves the whole campaign; cloning
+/// the artifacts is cheap (copy-on-write pages and blocks).
+#[derive(Debug, Clone)]
+pub struct RecoveryCheckpoint {
+    config: KernelConfig,
+    state: Option<(PhysMem, SimDisk)>,
+}
+
+impl RecoveryCheckpoint {
+    /// Boots, warms up, and crashes the kernel — the scratch path to the
+    /// first-crash artifacts. Pure function of its arguments.
+    pub fn capture(workload_seed: u64, warmup_ops: u64) -> RecoveryCheckpoint {
+        let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+        let state = (|| {
+            let mut k = Kernel::mkfs_and_mount(&config).ok()?;
+            let mut mt = MemTest::new(MemTestConfig::small(workload_seed));
+            mt.setup(&mut k).ok()?;
+            mt.run(&mut k, warmup_ops).ok()?;
+            k.crash_now(PanicReason::Watchdog);
+            Some(k.into_crash_artifacts())
+        })();
+        RecoveryCheckpoint { config, state }
+    }
+
+    /// Whether the captured warmup itself failed.
+    pub fn wedged(&self) -> bool {
+        self.state.is_none()
+    }
+}
+
 /// Runs one recovery trial; see the module docs for the procedure.
+///
+/// Legacy single-seed entry point: the one seed feeds the warmup
+/// (workload = `seed ^ 0x5EED`) and the per-trial damage/crash-point
+/// stream (`seed`), as it always did. Campaigns capture one
+/// [`RecoveryCheckpoint`] and use [`run_recovery_trial_from`].
 pub fn run_recovery_trial(
     scenario: RecoveryScenario,
     depth: u64,
     seed: u64,
     warmup_ops: u64,
 ) -> RecoveryTrialOutcome {
-    let mut rng = DetRng::seed_from_u64(seed);
-    let config = KernelConfig::small(Policy::rio(RioMode::Protected));
+    let cp = RecoveryCheckpoint::capture(seed ^ 0x5EED, warmup_ops);
+    run_recovery_trial_from(&cp, scenario, depth, seed)
+}
 
-    // First crash: a warmed-up kernel dies with a dirty file cache.
-    let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
+/// Runs one recovery trial from captured first-crash artifacts, drawing
+/// the scenario damage and second-crash points from `inject_seed`.
+pub fn run_recovery_trial_from(
+    checkpoint: &RecoveryCheckpoint,
+    scenario: RecoveryScenario,
+    depth: u64,
+    inject_seed: u64,
+) -> RecoveryTrialOutcome {
+    let config = &checkpoint.config;
+    let Some((image, disk)) = &checkpoint.state else {
         return RecoveryTrialOutcome::panic_outcome();
     };
-    let mut mt = MemTest::new(MemTestConfig::small(seed ^ 0x5EED));
-    if mt.setup(&mut k).is_err() || mt.run(&mut k, warmup_ops).is_err() {
-        return RecoveryTrialOutcome::panic_outcome();
-    }
-    k.crash_now(PanicReason::Watchdog);
-    let (mut image, mut disk) = k.into_crash_artifacts();
+    let (mut image, mut disk) = (image.clone(), disk.clone());
+    let mut rng = DetRng::seed_from_u64(inject_seed);
 
     // Outage-window damage, shared by both recovery paths.
     apply_scenario(scenario, &mut image, &mut disk, &mut rng);
@@ -387,7 +444,7 @@ pub fn run_recovery_trial(
     let mut ref_image = image.clone();
     let mut counter = CountingControl { points: 0 };
     let reference =
-        Kernel::warm_boot_resumable(&config, &mut ref_image, disk.clone(), &mut counter);
+        Kernel::warm_boot_resumable(config, &mut ref_image, disk.clone(), &mut counter);
     let points = counter.points;
     let ref_disk = match reference {
         Ok((kernel, _)) => park(kernel),
@@ -406,7 +463,7 @@ pub fn run_recovery_trial(
             remaining: rng.gen_range(0..points.max(1)),
         };
         let attempt_disk = cur_disk.take().expect("disk survives interruptions");
-        match Kernel::warm_boot_resumable(&config, &mut test_image, attempt_disk, &mut ctl) {
+        match Kernel::warm_boot_resumable(config, &mut test_image, attempt_disk, &mut ctl) {
             Ok(done) => {
                 finished = Some(done);
                 break;
@@ -424,7 +481,7 @@ pub fn run_recovery_trial(
     if finished.is_none() && !fatal_test {
         let attempt_disk = cur_disk.take().expect("disk survives interruptions");
         match Kernel::warm_boot_resumable(
-            &config,
+            config,
             &mut test_image,
             attempt_disk,
             &mut NoRecoveryFaults,
@@ -478,18 +535,11 @@ pub fn run_recovery_trial(
     outcome
 }
 
-/// [`run_recovery_trial`] with the same panic firewall as the Table 1
-/// campaign: a panicking trial is a diverged result, not a dead pool.
-pub fn run_recovery_trial_caught(
-    scenario: RecoveryScenario,
-    depth: u64,
-    seed: u64,
-    warmup_ops: u64,
-) -> RecoveryTrialOutcome {
-    catch_unwind(AssertUnwindSafe(|| {
-        run_recovery_trial(scenario, depth, seed, warmup_ops)
-    }))
-    .unwrap_or_else(|payload| {
+/// Runs a recovery-trial closure behind the same panic firewall as the
+/// Table 1 campaign: a panicking trial is a diverged result, not a dead
+/// pool.
+fn recovery_firewall(trial: impl FnOnce() -> RecoveryTrialOutcome) -> RecoveryTrialOutcome {
+    catch_unwind(AssertUnwindSafe(trial)).unwrap_or_else(|payload| {
         // Do not swallow the panic text: surface it to any open trace
         // session so a forensic replay of the trial can report *why* the
         // harness died, not just that it did.
@@ -498,6 +548,37 @@ pub fn run_recovery_trial_caught(
             rio_obs::note(rio_obs::EventCategory::TrialPanic, text);
         }
         RecoveryTrialOutcome::panic_outcome()
+    })
+}
+
+/// [`run_recovery_trial`] behind the panic firewall (legacy single-seed
+/// form).
+pub fn run_recovery_trial_caught(
+    scenario: RecoveryScenario,
+    depth: u64,
+    seed: u64,
+    warmup_ops: u64,
+) -> RecoveryTrialOutcome {
+    recovery_firewall(|| run_recovery_trial(scenario, depth, seed, warmup_ops))
+}
+
+/// Runs one recovery-campaign trial at its grid coordinates, forking the
+/// shared checkpoint when one is given and re-capturing from scratch
+/// otherwise — both through the identical trial tail.
+fn run_recovery_grid_trial(
+    cfg: &RecoveryCampaignConfig,
+    checkpoint: Option<&RecoveryCheckpoint>,
+    scenario: RecoveryScenario,
+    depth: u64,
+    trial: u64,
+) -> RecoveryTrialOutcome {
+    let inj = recovery_trial_seed(cfg.seed, scenario, depth, trial);
+    recovery_firewall(|| match checkpoint {
+        Some(cp) => run_recovery_trial_from(cp, scenario, depth, inj),
+        None => {
+            let cp = RecoveryCheckpoint::capture(recovery_workload_seed(cfg.seed), cfg.warmup_ops);
+            run_recovery_trial_from(&cp, scenario, depth, inj)
+        }
     })
 }
 
@@ -515,16 +596,19 @@ pub fn run_recovery_campaign(
     cfg: &RecoveryCampaignConfig,
     mut progress: impl FnMut(&RecoveryCellResult),
 ) -> RecoveryCampaignResult {
+    let checkpoint = cfg
+        .use_checkpoint
+        .then(|| RecoveryCheckpoint::capture(recovery_workload_seed(cfg.seed), cfg.warmup_ops));
     let mut cells = Vec::new();
     for (scenario, depth) in recovery_grid(cfg) {
         let mut cell = RecoveryCellResult::empty(scenario, depth);
         for trial in 0..cfg.trials_per_cell {
-            let seed = recovery_trial_seed(cfg.seed, scenario, depth, trial);
-            cell.absorb(&run_recovery_trial_caught(
+            cell.absorb(&run_recovery_grid_trial(
+                cfg,
+                checkpoint.as_ref(),
                 scenario,
                 depth,
-                seed,
-                cfg.warmup_ops,
+                trial,
             ));
         }
         progress(&cell);
@@ -550,6 +634,9 @@ pub fn run_recovery_campaign_parallel(
     if threads == 1 {
         return run_recovery_campaign(cfg, |_| {});
     }
+    let checkpoint = cfg
+        .use_checkpoint
+        .then(|| RecoveryCheckpoint::capture(recovery_workload_seed(cfg.seed), cfg.warmup_ops));
     let grid = recovery_grid(cfg);
     let total = grid.len() * cfg.trials_per_cell as usize;
     let slots: Mutex<Vec<Option<RecoveryTrialOutcome>>> = Mutex::new(vec![None; total]);
@@ -568,8 +655,8 @@ pub fn run_recovery_campaign_parallel(
                 };
                 let (scenario, depth) = grid[idx / cfg.trials_per_cell as usize];
                 let trial = (idx % cfg.trials_per_cell as usize) as u64;
-                let seed = recovery_trial_seed(cfg.seed, scenario, depth, trial);
-                let outcome = run_recovery_trial_caught(scenario, depth, seed, cfg.warmup_ops);
+                let outcome =
+                    run_recovery_grid_trial(cfg, checkpoint.as_ref(), scenario, depth, trial);
                 lock_tolerant(&slots)[idx] = Some(outcome);
             });
         }
@@ -644,12 +731,30 @@ mod tests {
     }
 
     #[test]
+    fn forked_recovery_trials_match_scratch_exactly() {
+        let wl = recovery_workload_seed(77);
+        let cp = RecoveryCheckpoint::capture(wl, 25);
+        assert!(!cp.wedged());
+        for (scenario, inj) in [
+            (RecoveryScenario::Clean, 4u64),
+            (RecoveryScenario::Decay, 5),
+            (RecoveryScenario::TransientIo, 6),
+        ] {
+            let forked = run_recovery_trial_from(&cp, scenario, 2, inj);
+            let fresh = RecoveryCheckpoint::capture(wl, 25);
+            let scratch = run_recovery_trial_from(&fresh, scenario, 2, inj);
+            assert_eq!(forked, scratch, "{scenario} / inj {inj}");
+        }
+    }
+
+    #[test]
     fn parallel_recovery_campaign_matches_serial() {
         let cfg = RecoveryCampaignConfig {
             trials_per_cell: 1,
             seed: 11,
             warmup_ops: 20,
             max_depth: 2,
+            use_checkpoint: true,
         };
         let serial = run_recovery_campaign(&cfg, |_| {});
         let parallel = run_recovery_campaign_parallel(&cfg, 4);

@@ -17,6 +17,7 @@
 //! at any `RIO_THREADS`.
 
 use crate::campaign::{lock_tolerant, panic_message, SystemKind};
+use crate::checkpoint::Memo;
 use crate::inject::{inject, FaultType};
 use rio_det::{derive_seed, derive_seed3, DetRng};
 use rio_kernel::{
@@ -45,6 +46,10 @@ pub struct ScaleCampaignConfig {
     pub max_attempts_factor: u64,
     /// Client counts to sweep.
     pub client_counts: Vec<usize>,
+    /// Fork each trial from a per-cell warmed checkpoint instead of
+    /// rebooting the multi-client machine from scratch (identical
+    /// results either way; `RIO_CHECKPOINT=0` is the CLI escape hatch).
+    pub use_checkpoint: bool,
 }
 
 impl ScaleCampaignConfig {
@@ -57,6 +62,7 @@ impl ScaleCampaignConfig {
             watchdog_quanta: 3_000,
             max_attempts_factor: 4,
             client_counts: vec![1, 4],
+            use_checkpoint: true,
         }
     }
 
@@ -70,6 +76,7 @@ impl ScaleCampaignConfig {
             watchdog_quanta: 20_000,
             max_attempts_factor: 6,
             client_counts: vec![1, 16, 64],
+            use_checkpoint: true,
         }
     }
 
@@ -281,9 +288,174 @@ pub fn scale_trial_seed(
     )
 }
 
+/// The per-cell workload seed of the scale campaign: all trials of one
+/// `(campaign seed, system, clients)` cell share their client workloads,
+/// static files, and scheduler rotor, so a warmed checkpoint can be
+/// forked instead of re-run. Stream-tagged to stay disjoint from
+/// [`scale_trial_seed`] and the single-client [`crate::workload_seed`].
+pub fn scale_workload_seed(campaign_seed: u64, system: SystemKind, clients: usize) -> u64 {
+    const SCALE_WORKLOAD_STREAM: u64 = 0x57EA_D75E_ED00_0002;
+    derive_seed3(
+        campaign_seed,
+        SCALE_WORKLOAD_STREAM,
+        system as u64,
+        clients as u64,
+    )
+}
+
+/// A multi-client machine frozen at the injection point: booted, static
+/// files planted, N preemptive clients warmed up with syscalls genuinely
+/// parked mid-flight. Cloning is cheap (copy-on-write memory and disk),
+/// so one checkpoint serves every trial in a scale cell.
+#[derive(Debug, Clone)]
+pub struct ScaleCheckpoint {
+    system: SystemKind,
+    nclients: usize,
+    workload_seed: u64,
+    config: KernelConfig,
+    cfgs: Vec<MemTestConfig>,
+    state: Option<ScaleSteady>,
+}
+
+#[derive(Debug, Clone)]
+struct ScaleSteady {
+    k: Kernel,
+    pms: Vec<PreemptMemTest>,
+    sched: PreemptSched,
+    inflight_at_injection: usize,
+    locks_held_at_injection: usize,
+}
+
+impl ScaleCheckpoint {
+    /// Boots, plants, and warms up the multi-client machine — the scratch
+    /// path to the injection point. Pure function of its arguments.
+    /// (`watchdog_quanta` matters because the warmup cap derives from it.)
+    pub fn capture(
+        system: SystemKind,
+        nclients: usize,
+        workload_seed: u64,
+        warmup_ops: u64,
+        watchdog_quanta: u64,
+    ) -> ScaleCheckpoint {
+        let config = scale_kernel_config(system);
+        let cfgs: Vec<MemTestConfig> = (0..nclients)
+            .map(|c| client_cfg(system, workload_seed, c))
+            .collect();
+        let mut cp = ScaleCheckpoint {
+            system,
+            nclients,
+            workload_seed,
+            config,
+            cfgs,
+            state: None,
+        };
+        let Ok(mut k) = Kernel::mkfs_and_mount(&cp.config) else {
+            return cp;
+        };
+        let mut pms: Vec<PreemptMemTest> = cp
+            .cfgs
+            .iter()
+            .map(|c| PreemptMemTest::new(c.clone(), u64::MAX))
+            .collect();
+        if MemTest::setup_static(&mut k, static_seed(workload_seed)).is_err() {
+            return cp;
+        }
+        for pm in &mut pms {
+            if pm.setup_skeleton(&mut k).is_err() {
+                return cp;
+            }
+        }
+        // Invariant checks stay off: the injected faults legitimately
+        // desynchronize lock words from the owner table.
+        let mut sched = PreemptSched::new(nclients, workload_seed, false);
+
+        // Warm-up: run until every client has `warmup_ops` logical ops
+        // done. A crash or a benign failure here is not a trial.
+        let warmup_cap = watchdog_quanta.saturating_mul(4).max(200_000);
+        let mut warm_quanta = 0u64;
+        while pms.iter().any(|p| p.ops_done() < warmup_ops) {
+            if pms.iter().any(PreemptMemTest::failed) || warm_quanta >= warmup_cap {
+                return cp;
+            }
+            let mut clients: Vec<&mut dyn PreemptClient> = pms
+                .iter_mut()
+                .map(|p| p as &mut dyn PreemptClient)
+                .collect();
+            match sched.step_once(&mut k, &mut clients) {
+                Ok(SchedStep::Done) => return cp,
+                Ok(_) => {}
+                Err(_) => return cp,
+            }
+            warm_quanta += 1;
+        }
+
+        let inflight_at_injection = sched.in_flight();
+        let locks_held_at_injection: usize =
+            (0..nclients).map(|c| sched.held_locks(c).len()).sum();
+        cp.state = Some(ScaleSteady {
+            k,
+            pms,
+            sched,
+            inflight_at_injection,
+            locks_held_at_injection,
+        });
+        cp
+    }
+
+    /// Whether the captured boot/warmup failed (every fork is then a
+    /// wedged trial, exactly as every scratch attempt would be).
+    pub fn wedged(&self) -> bool {
+        self.state.is_none()
+    }
+}
+
+/// Lazily captured [`ScaleCheckpoint`]s, shared across worker threads.
+pub struct ScaleCheckpointStore {
+    cells: Memo<(u64, usize, u64, u64, u64), ScaleCheckpoint>,
+}
+
+impl ScaleCheckpointStore {
+    /// An empty store.
+    pub fn new() -> ScaleCheckpointStore {
+        ScaleCheckpointStore { cells: Memo::new() }
+    }
+
+    /// The checkpoint for one scale cell, capturing it on first use.
+    pub fn get_or_capture(
+        &self,
+        system: SystemKind,
+        nclients: usize,
+        workload_seed: u64,
+        warmup_ops: u64,
+        watchdog_quanta: u64,
+    ) -> std::sync::Arc<ScaleCheckpoint> {
+        self.cells.get_or_insert_with(
+            (
+                system as u64,
+                nclients,
+                workload_seed,
+                warmup_ops,
+                watchdog_quanta,
+            ),
+            || ScaleCheckpoint::capture(system, nclients, workload_seed, warmup_ops, watchdog_quanta),
+        )
+    }
+}
+
+impl Default for ScaleCheckpointStore {
+    fn default() -> Self {
+        ScaleCheckpointStore::new()
+    }
+}
+
 /// Runs one scale trial: boot, warm up N preemptive clients, inject
 /// while syscalls are in flight, run to crash, reboot, and attribute
 /// every damaged file to its owning client.
+///
+/// Legacy single-seed entry point: the one seed feeds both the workload
+/// (client file sets, static files, scheduler rotor) and the injection
+/// stream, exactly as it always did. Campaigns split the two so trials
+/// can share a [`ScaleCheckpoint`].
 pub fn run_scale_trial(
     system: SystemKind,
     fault: FaultType,
@@ -292,52 +464,36 @@ pub fn run_scale_trial(
     warmup_ops: u64,
     watchdog_quanta: u64,
 ) -> ScaleTrialOutcome {
-    let mut rng = DetRng::seed_from_u64(seed);
-    let config = scale_kernel_config(system);
-    let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
+    let cp = ScaleCheckpoint::capture(system, nclients, seed, warmup_ops, watchdog_quanta);
+    run_scale_trial_from(&cp, fault, seed, watchdog_quanta)
+}
+
+/// Runs one scale trial forked from a warmed checkpoint, drawing faults
+/// from `inject_seed`. Byte-identical to a scratch trial captured with
+/// the same workload seed.
+pub fn run_scale_trial_from(
+    checkpoint: &ScaleCheckpoint,
+    fault: FaultType,
+    inject_seed: u64,
+    watchdog_quanta: u64,
+) -> ScaleTrialOutcome {
+    let system = checkpoint.system;
+    let nclients = checkpoint.nclients;
+    let config = &checkpoint.config;
+    let cfgs = &checkpoint.cfgs;
+    let Some(steady) = &checkpoint.state else {
         return ScaleTrialOutcome::Wedged;
     };
-    let cfgs: Vec<MemTestConfig> = (0..nclients).map(|c| client_cfg(system, seed, c)).collect();
-    let mut pms: Vec<PreemptMemTest> = cfgs
-        .iter()
-        .map(|c| PreemptMemTest::new(c.clone(), u64::MAX))
-        .collect();
-    if MemTest::setup_static(&mut k, static_seed(seed)).is_err() {
-        return ScaleTrialOutcome::Wedged;
-    }
-    for pm in &mut pms {
-        if pm.setup_skeleton(&mut k).is_err() {
-            return ScaleTrialOutcome::Wedged;
-        }
-    }
-    // Invariant checks stay off: the injected faults legitimately
-    // desynchronize lock words from the owner table.
-    let mut sched = PreemptSched::new(nclients, seed, false);
-
-    // Warm-up: run until every client has `warmup_ops` logical ops done.
-    // A crash or a benign failure here is not a trial.
-    let warmup_cap = watchdog_quanta.saturating_mul(4).max(200_000);
-    let mut warm_quanta = 0u64;
-    while pms.iter().any(|p| p.ops_done() < warmup_ops) {
-        if pms.iter().any(PreemptMemTest::failed) || warm_quanta >= warmup_cap {
-            return ScaleTrialOutcome::Wedged;
-        }
-        let mut clients: Vec<&mut dyn PreemptClient> = pms
-            .iter_mut()
-            .map(|p| p as &mut dyn PreemptClient)
-            .collect();
-        match sched.step_once(&mut k, &mut clients) {
-            Ok(SchedStep::Done) => return ScaleTrialOutcome::Wedged,
-            Ok(_) => {}
-            Err(_) => return ScaleTrialOutcome::Wedged,
-        }
-        warm_quanta += 1;
-    }
+    let ScaleSteady {
+        mut k,
+        mut pms,
+        mut sched,
+        inflight_at_injection,
+        locks_held_at_injection,
+    } = steady.clone();
 
     // Inject with syscall state genuinely in flight.
-    let inflight_at_injection = sched.in_flight();
-    let locks_held_at_injection: usize =
-        (0..nclients).map(|c| sched.held_locks(c).len()).sum();
+    let mut rng = DetRng::seed_from_u64(inject_seed);
     inject(&mut k, fault, &mut rng);
 
     // Run until crash or watchdog.
@@ -398,11 +554,11 @@ pub fn run_scale_trial(
     // reboot for Rio.
     let (image, disk) = k.into_crash_artifacts();
     let (mut k2, checksum_detected) = match system {
-        SystemKind::DiskBased => match Kernel::cold_boot(&config, disk) {
+        SystemKind::DiskBased => match Kernel::cold_boot(config, disk) {
             Ok((k2, _report)) => (k2, false),
             Err(_) => return all_damaged(false),
         },
-        _ => match Kernel::warm_boot(&config, &image, disk) {
+        _ => match Kernel::warm_boot(config, &image, disk) {
             Ok((k2, report)) => {
                 let warm = report.warm.expect("warm boot stats");
                 (k2, warm.dropped_bad_crc > 0)
@@ -433,7 +589,8 @@ pub fn run_scale_trial(
             }
         }
     }
-    let static_bad = MemTest::check_static(&mut k2, static_seed(seed)).unwrap_or(6);
+    let static_bad =
+        MemTest::check_static(&mut k2, static_seed(checkpoint.workload_seed)).unwrap_or(6);
     damage += static_bad as usize;
     let cross_client = static_bad > 0
         || damaged_clients
@@ -455,20 +612,13 @@ pub fn run_scale_trial(
     })
 }
 
-/// [`run_scale_trial`] behind the same panic firewall as the
+/// Runs a scale-trial closure behind the same panic firewall as the
 /// single-client campaign.
-pub fn run_scale_trial_caught(
-    system: SystemKind,
-    fault: FaultType,
+fn scale_firewall(
     nclients: usize,
-    seed: u64,
-    warmup_ops: u64,
-    watchdog_quanta: u64,
+    trial: impl FnOnce() -> ScaleTrialOutcome,
 ) -> ScaleTrialOutcome {
-    catch_unwind(AssertUnwindSafe(|| {
-        run_scale_trial(system, fault, nclients, seed, warmup_ops, watchdog_quanta)
-    }))
-    .unwrap_or_else(|payload| {
+    catch_unwind(AssertUnwindSafe(trial)).unwrap_or_else(|payload| {
         let text = format!("harness panic: {}", panic_message(payload.as_ref()));
         ScaleTrialOutcome::Crashed(ScaleCrash {
             corrupted: true,
@@ -484,6 +634,48 @@ pub fn run_scale_trial_caught(
             protection_trap: false,
             message: text,
         })
+    })
+}
+
+/// [`run_scale_trial`] behind the panic firewall (legacy single-seed
+/// form).
+pub fn run_scale_trial_caught(
+    system: SystemKind,
+    fault: FaultType,
+    nclients: usize,
+    seed: u64,
+    warmup_ops: u64,
+    watchdog_quanta: u64,
+) -> ScaleTrialOutcome {
+    scale_firewall(nclients, || {
+        run_scale_trial(system, fault, nclients, seed, warmup_ops, watchdog_quanta)
+    })
+}
+
+/// Runs one scale-campaign trial at its grid coordinates: workload from
+/// the per-cell stream, faults from the per-trial stream; checkpoint fork
+/// or scratch capture per `store`, both through the identical trial tail.
+fn run_scale_grid_trial(
+    cfg: &ScaleCampaignConfig,
+    store: Option<&ScaleCheckpointStore>,
+    fault: FaultType,
+    system: SystemKind,
+    clients: usize,
+    attempt: u64,
+) -> ScaleTrialOutcome {
+    let wl = scale_workload_seed(cfg.seed, system, clients);
+    let inj = scale_trial_seed(cfg.seed, fault, system, clients, attempt);
+    scale_firewall(clients, || match store {
+        Some(store) => {
+            let cp =
+                store.get_or_capture(system, clients, wl, cfg.warmup_ops, cfg.watchdog_quanta);
+            run_scale_trial_from(&cp, fault, inj, cfg.watchdog_quanta)
+        }
+        None => {
+            let cp =
+                ScaleCheckpoint::capture(system, clients, wl, cfg.warmup_ops, cfg.watchdog_quanta);
+            run_scale_trial_from(&cp, fault, inj, cfg.watchdog_quanta)
+        }
     })
 }
 
@@ -506,21 +698,21 @@ pub fn run_scale_campaign(
     cfg: &ScaleCampaignConfig,
     mut progress: impl FnMut(&ScaleCellResult),
 ) -> ScaleCampaignResult {
+    let store = cfg.use_checkpoint.then(ScaleCheckpointStore::new);
     let mut cells = Vec::new();
     for (fault, system, clients) in scale_grid(cfg) {
         let mut cell = ScaleCellResult::empty(fault, system, clients);
         let mut attempt = 0u64;
         while cell.crashes < cfg.trials_per_cell && attempt < cfg.max_attempts() {
-            let seed = scale_trial_seed(cfg.seed, fault, system, clients, attempt);
-            attempt += 1;
-            cell.absorb(run_scale_trial_caught(
-                system,
+            cell.absorb(run_scale_grid_trial(
+                cfg,
+                store.as_ref(),
                 fault,
+                system,
                 clients,
-                seed,
-                cfg.warmup_ops,
-                cfg.watchdog_quanta,
+                attempt,
             ));
+            attempt += 1;
         }
         progress(&cell);
         cells.push(cell);
@@ -656,6 +848,7 @@ pub fn run_scale_campaign_parallel(
     if threads == 1 {
         return run_scale_campaign(cfg, |_| {});
     }
+    let store = cfg.use_checkpoint.then(ScaleCheckpointStore::new);
     let state = Mutex::new(Scheduler::new(cfg, threads));
     let wake = Condvar::new();
     std::thread::scope(|scope| {
@@ -687,15 +880,8 @@ pub fn run_scale_campaign_parallel(
                         s.cells[idx].clients,
                     )
                 };
-                let seed = scale_trial_seed(cfg.seed, fault, system, clients, attempt);
-                let outcome = run_scale_trial_caught(
-                    system,
-                    fault,
-                    clients,
-                    seed,
-                    cfg.warmup_ops,
-                    cfg.watchdog_quanta,
-                );
+                let outcome =
+                    run_scale_grid_trial(cfg, store.as_ref(), fault, system, clients, attempt);
                 let mut s = lock_tolerant(&state);
                 s.complete(idx, attempt, outcome, cfg);
                 drop(s);
@@ -771,6 +957,22 @@ mod tests {
     }
 
     #[test]
+    fn forked_scale_trials_match_scratch_exactly() {
+        let wl = scale_workload_seed(9, SystemKind::RioWithoutProtection, 3);
+        let cp = ScaleCheckpoint::capture(SystemKind::RioWithoutProtection, 3, wl, 4, 1_500);
+        assert!(!cp.wedged());
+        for inj in [1u64, 2, 3] {
+            let forked = run_scale_trial_from(&cp, FaultType::CopyOverrun, inj, 1_500);
+            let scratch = {
+                let fresh =
+                    ScaleCheckpoint::capture(SystemKind::RioWithoutProtection, 3, wl, 4, 1_500);
+                run_scale_trial_from(&fresh, FaultType::CopyOverrun, inj, 1_500)
+            };
+            assert_eq!(forked, scratch, "inj {inj}");
+        }
+    }
+
+    #[test]
     fn parallel_scale_campaign_matches_serial_exactly() {
         let cfg = ScaleCampaignConfig {
             trials_per_cell: 1,
@@ -779,6 +981,7 @@ mod tests {
             watchdog_quanta: 1_200,
             max_attempts_factor: 2,
             client_counts: vec![2],
+            use_checkpoint: true,
         };
         let serial = run_scale_campaign(&cfg, |_| {});
         let parallel = run_scale_campaign_parallel(&cfg, 4);

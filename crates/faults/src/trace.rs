@@ -10,10 +10,8 @@
 //! crash.
 
 use crate::campaign::SystemKind;
-use crate::inject::{inject, FaultType};
-use rio_det::DetRng;
-use rio_kernel::{Kernel, KernelConfig, KernelError};
-use rio_workloads::MemTest;
+use crate::driver::{drive, PreparedTrial, TrialVerdict};
+use crate::inject::FaultType;
 
 /// How damage (if any) was detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +69,11 @@ pub struct TrialTrace {
 }
 
 /// Runs one fully-instrumented trial.
+///
+/// Legacy single-seed entry point over the shared [`crate::driver`]
+/// skeleton (workload = `seed ^ 0x5EED`, injection = `seed`, like
+/// [`crate::campaign::run_trial`]). A checkpoint-forked steady point gives
+/// the same trace: use [`run_traced_trial_from`].
 pub fn run_traced_trial(
     system: SystemKind,
     fault: FaultType,
@@ -78,94 +81,53 @@ pub fn run_traced_trial(
     warmup_ops: u64,
     watchdog_ops: u64,
 ) -> TrialTrace {
-    let mut trace = TrialTrace {
+    let prepared = PreparedTrial::prepare(system, seed ^ 0x5EED, warmup_ops);
+    trace_from(drive(prepared, fault, seed, watchdog_ops), system, fault, seed)
+}
+
+/// [`run_traced_trial`] from an already-prepared steady point (scratch or
+/// checkpoint fork), drawing faults from `inject_seed`.
+pub fn run_traced_trial_from(
+    prepared: PreparedTrial,
+    fault: FaultType,
+    inject_seed: u64,
+    watchdog_ops: u64,
+) -> TrialTrace {
+    let system = prepared.system;
+    trace_from(
+        drive(prepared, fault, inject_seed, watchdog_ops),
+        system,
+        fault,
+        inject_seed,
+    )
+}
+
+/// Maps a driver observation onto the trace shape.
+fn trace_from(
+    obs: crate::driver::TrialObservation,
+    system: SystemKind,
+    fault: FaultType,
+    seed: u64,
+) -> TrialTrace {
+    let crashed = obs.verdict == TrialVerdict::Crashed;
+    TrialTrace {
         fault,
         system,
         seed,
-        crashed: false,
-        crash_latency_ops: None,
-        crash_latency_time: None,
-        hook_activations: 0,
-        protection_traps: 0,
-        corrupted: false,
-        detection: DetectionChannel::None,
-        message: None,
-    };
-    let mut rng = DetRng::seed_from_u64(seed);
-    let policy = system.policy();
-    let config = KernelConfig::small(policy);
-    let Ok(mut k) = Kernel::mkfs_and_mount(&config) else {
-        return trace;
-    };
-    let mt_cfg = system.memtest_config(seed ^ 0x5EED);
-    let mut mt = MemTest::new(mt_cfg.clone());
-    if mt.setup(&mut k).is_err() || mt.run(&mut k, warmup_ops).is_err() {
-        return trace;
-    }
-
-    inject(&mut k, fault, &mut rng);
-    let injected_at_ops = mt.ops_done();
-    let injected_at_time = k.machine.clock.now();
-
-    for _ in 0..watchdog_ops {
-        match mt.step(&mut k) {
-            Ok(()) => {}
-            Err(KernelError::Panic(_)) | Err(KernelError::Crashed) => {
-                trace.crashed = true;
-                break;
-            }
-            Err(_) => return trace, // wedged
-        }
-    }
-    trace.hook_activations = k.machine.hooks.activations;
-    trace.protection_traps = k.machine.bus.stats().protection_traps;
-    if !trace.crashed {
-        return trace;
-    }
-    let info = k.crash_info().expect("crashed").clone();
-    trace.message = Some(info.reason.message());
-    trace.crash_latency_ops = Some(mt.ops_done() - injected_at_ops);
-    trace.crash_latency_time = Some(info.at.saturating_sub(injected_at_time));
-
-    let ops = mt.ops_done();
-    let (image, disk) = k.into_crash_artifacts();
-    let (mut k2, checksum_hit) = match system {
-        SystemKind::DiskBased => match Kernel::cold_boot(&config, disk) {
-            Ok((k2, _)) => (k2, false),
-            Err(_) => {
-                trace.corrupted = true;
-                trace.detection = DetectionChannel::MemTestOnly;
-                return trace;
-            }
+        crashed,
+        crash_latency_ops: obs.crash_latency_ops,
+        crash_latency_time: obs.crash_latency_time,
+        hook_activations: obs.hook_activations,
+        protection_traps: obs.protection_trap_count,
+        corrupted: crashed && (obs.memtest_hit || obs.checksum_detected),
+        detection: match (crashed, obs.checksum_detected, obs.memtest_hit) {
+            (false, ..) | (true, false, false) => DetectionChannel::None,
+            (true, true, false) => DetectionChannel::Checksum,
+            (true, false, true) => DetectionChannel::MemTestOnly,
+            (true, true, true) => DetectionChannel::Both,
         },
-        _ => match Kernel::warm_boot(&config, &image, disk) {
-            Ok((k2, report)) => {
-                let hit = report
-                    .warm
-                    .map(|w| w.dropped_bad_crc > 0)
-                    .unwrap_or(false);
-                (k2, hit)
-            }
-            Err(_) => {
-                trace.corrupted = true;
-                trace.detection = DetectionChannel::MemTestOnly;
-                return trace;
-            }
-        },
-    };
-    let (expected, next_target) = MemTest::replay(&mt_cfg, ops);
-    let memtest_hit = match expected.verify(&mut k2, Some(next_target.as_str())) {
-        Ok(v) => v.is_corrupt(),
-        Err(_) => true,
-    };
-    trace.corrupted = memtest_hit || checksum_hit;
-    trace.detection = match (checksum_hit, memtest_hit) {
-        (false, false) => DetectionChannel::None,
-        (true, false) => DetectionChannel::Checksum,
-        (false, true) => DetectionChannel::MemTestOnly,
-        (true, true) => DetectionChannel::Both,
-    };
-    trace
+        message: obs.message,
+    }
 }
 
 /// Aggregated propagation statistics for a set of traces.

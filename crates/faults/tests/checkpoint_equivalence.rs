@@ -1,0 +1,45 @@
+//! Property test for the checkpoint-fork trial engine: a trial forked from
+//! a cell's shared steady-state checkpoint is observationally identical to
+//! one whose machine was booted and warmed up from scratch — across random
+//! campaign coordinates, and no matter how many forks the checkpoint has
+//! already served.
+//!
+//! This is the invariant that makes `RIO_CHECKPOINT=0` a pure escape hatch
+//! (same bytes, slower) and lets verify.sh gate the two paths with `cmp`.
+
+use rio_det::proptest_lite::{check, Config, Gen};
+use rio_faults::campaign::trial_seed;
+use rio_faults::{
+    drive, run_trial_from, workload_seed, FaultType, PreparedTrial, SystemKind, TrialCheckpoint,
+};
+
+#[test]
+fn forked_trials_match_scratch_at_random_coordinates() {
+    check(
+        "checkpoint fork == scratch boot",
+        Config::with_cases(10),
+        |g: &mut Gen| {
+            let fault = FaultType::ALL[g.in_range(0..FaultType::ALL.len())];
+            let system = SystemKind::ALL[g.in_range(0..SystemKind::ALL.len())];
+            let attempt: u64 = g.in_range(0..8u64);
+            let campaign_seed = g.u64();
+            let (warmup, watchdog) = (20, 150);
+
+            let wl = workload_seed(campaign_seed, system);
+            let inj = trial_seed(campaign_seed, fault, system, attempt);
+
+            // The machine states themselves: fresh boot vs fork.
+            let scratch = drive(PreparedTrial::prepare(system, wl, warmup), fault, inj, watchdog);
+            let shared = TrialCheckpoint::capture(system, wl, warmup);
+            let forked = drive(shared.fork(), fault, inj, watchdog);
+            rio_det::pt_assert_eq!(scratch, forked);
+
+            // The checkpoint is reusable: a second fork after the first
+            // trial ran (and crashed its copy) sees untouched state.
+            let again = run_trial_from(&shared, fault, inj, watchdog);
+            let reference = run_trial_from(&TrialCheckpoint::capture(system, wl, warmup), fault, inj, watchdog);
+            rio_det::pt_assert_eq!(again, reference);
+            Ok(())
+        },
+    );
+}

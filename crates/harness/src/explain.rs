@@ -3,7 +3,9 @@
 //! A Table 1 cell tells you *how many* trials corrupted data; this module
 //! answers *how one of them did*. Given a campaign coordinate
 //! `(seed, fault, system, attempt)` — the same pure-function addressing
-//! [`rio_faults::campaign::trial_seed`] gives the campaign itself — it
+//! the campaign itself uses ([`rio_faults::workload_seed`] for the shared
+//! per-cell workload stream, [`rio_faults::campaign::trial_seed`] for the
+//! per-trial injection stream) — it
 //! re-runs that exact trial with a [`rio_obs`] trace session open and
 //! renders a causal timeline from fault injection to the first corrupted
 //! byte (or to the protection trap that stopped the wild store).
@@ -16,7 +18,7 @@
 
 use rio_det::DetRng;
 use rio_faults::campaign::trial_seed;
-use rio_faults::{inject, FaultType, SystemKind};
+use rio_faults::{inject, workload_seed, FaultType, SystemKind};
 use rio_kernel::{Kernel, KernelConfig, KernelError};
 use rio_obs::{Event, EventCategory, Payload, Trace};
 use rio_workloads::MemTest;
@@ -143,8 +145,11 @@ pub struct CrashExam {
 pub struct ExplainReport {
     /// The coordinate replayed.
     pub cfg: ExplainConfig,
-    /// Derived per-trial seed.
+    /// Derived per-trial injection seed.
     pub trial_seed: u64,
+    /// Derived per-cell workload seed (shared by every trial in the cell;
+    /// what the checkpoint engine warms up and freezes).
+    pub workload_seed: u64,
     /// Simulated time at injection (ns).
     pub injected_at_ns: u64,
     /// memTest ops completed at injection.
@@ -157,13 +162,15 @@ pub struct ExplainReport {
 
 /// Replays the trial at `cfg`'s coordinate with tracing enabled.
 pub fn explain_trial(cfg: &ExplainConfig) -> ExplainReport {
-    let seed = trial_seed(cfg.campaign_seed, cfg.fault, cfg.system, cfg.attempt);
+    let inject_seed = trial_seed(cfg.campaign_seed, cfg.fault, cfg.system, cfg.attempt);
+    let wl_seed = workload_seed(cfg.campaign_seed, cfg.system);
     rio_obs::start(cfg.ring_capacity);
-    let (verdict, injected_at_ops, injected_at_ns) = run_forensic(cfg, seed);
+    let (verdict, injected_at_ops, injected_at_ns) = run_forensic(cfg, wl_seed, inject_seed);
     let trace = rio_obs::finish().expect("trace session was opened above");
     ExplainReport {
         cfg: cfg.clone(),
-        trial_seed: seed,
+        trial_seed: inject_seed,
+        workload_seed: wl_seed,
         injected_at_ns,
         injected_at_ops,
         verdict,
@@ -171,14 +178,19 @@ pub fn explain_trial(cfg: &ExplainConfig) -> ExplainReport {
     }
 }
 
-/// The campaign trial protocol ([`rio_faults::run_trial`]), instrumented.
-fn run_forensic(cfg: &ExplainConfig, seed: u64) -> (ExplainVerdict, u64, u64) {
-    let mut rng = DetRng::seed_from_u64(seed);
+/// The campaign trial protocol ([`rio_faults::run_trial_from`]), instrumented.
+///
+/// The workload half (mkfs, memTest warmup) runs from the cell's shared
+/// `wl_seed`; the injection half runs from the per-trial `inject_seed` —
+/// exactly the split the campaign's checkpoint-fork engine uses, so the
+/// forensic replay reconstructs the same machine state the campaign forked.
+fn run_forensic(cfg: &ExplainConfig, wl_seed: u64, inject_seed: u64) -> (ExplainVerdict, u64, u64) {
+    let mut rng = DetRng::seed_from_u64(inject_seed);
     let kcfg = KernelConfig::small(cfg.system.policy());
     let Ok(mut k) = Kernel::mkfs_and_mount(&kcfg) else {
         return (ExplainVerdict::Wedged, 0, 0);
     };
-    let mt_cfg = cfg.system.memtest_config(seed ^ 0x5EED);
+    let mt_cfg = cfg.system.memtest_config(wl_seed);
     let mut mt = MemTest::new(mt_cfg.clone());
     if mt.setup(&mut k).is_err() || mt.run(&mut k, cfg.warmup_ops).is_err() {
         return (ExplainVerdict::Wedged, 0, 0);
@@ -449,8 +461,8 @@ pub fn render_timeline(report: &ExplainReport) -> String {
         cfg.attempt
     ));
     out.push_str(&format!(
-        "seed       : campaign {} -> trial 0x{:016x}\n",
-        cfg.campaign_seed, report.trial_seed
+        "seed       : campaign {} -> workload 0x{:016x}, injection 0x{:016x}\n",
+        cfg.campaign_seed, report.workload_seed, report.trial_seed
     ));
     out.push_str(&format!(
         "protocol   : warmup {} ops, watchdog {} ops\n",
@@ -616,11 +628,12 @@ pub fn explain_json(report: &ExplainReport) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"coordinate\": {{\"fault\": \"{}\", \"system\": \"{}\", \"attempt\": {}, \
-         \"campaign_seed\": {}, \"trial_seed\": {}}},\n",
+         \"campaign_seed\": {}, \"workload_seed\": {}, \"trial_seed\": {}}},\n",
         cfg.fault.slug(),
         cfg.system.slug(),
         cfg.attempt,
         cfg.campaign_seed,
+        report.workload_seed,
         report.trial_seed
     ));
     let (verdict, message, first) = match &report.verdict {

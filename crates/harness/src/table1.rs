@@ -7,6 +7,7 @@
 //! events), the protection-trap saves, and the unique-crash-message count.
 
 use crate::ascii;
+use rio_det::stats::{wilson_interval, Z_95};
 use rio_faults::{run_campaign_parallel, CampaignConfig, CampaignResult, FaultType, SystemKind};
 
 /// The §3.3 MTTF illustration.
@@ -157,6 +158,39 @@ pub fn render_table1(report: &Table1Report) -> String {
         c.total_quarantined(SystemKind::ALL[1]),
         c.total_quarantined(SystemKind::ALL[2]),
     ));
+
+    // §3.3 error bars: a Wilson 95% interval on each system's per-crash
+    // corruption rate, and the MTTF range it implies (worst-case rate →
+    // shortest MTTF). The interval is what the 1000-trial campaigns exist
+    // to tighten; at the paper's 50-crash scale it spans a factor of ~4.
+    out.push_str("\n95% confidence intervals (Wilson) on the per-crash corruption rate:\n");
+    let mttf_years = |rate: f64| -> String {
+        if rate == 0.0 {
+            "inf".to_owned()
+        } else {
+            format!("{:.0}", 1.0 / (rate * 6.0))
+        }
+    };
+    for &system in &SystemKind::ALL {
+        let crashes = c.total_crashes(system);
+        let corr = c.total_corruptions(system);
+        let (lo, hi) = wilson_interval(corr, crashes, Z_95);
+        out.push_str(&format!(
+            "  {:<22} : {:.2}% [{:.2}%, {:.2}%] over {} crashes; \
+             MTTF {}..{} years\n",
+            system.label(),
+            if crashes > 0 {
+                100.0 * corr as f64 / crashes as f64
+            } else {
+                0.0
+            },
+            100.0 * lo,
+            100.0 * hi,
+            crashes,
+            mttf_years(hi),
+            mttf_years(lo),
+        ));
+    }
     out
 }
 
@@ -184,6 +218,7 @@ mod tests {
             warmup_ops: 15,
             watchdog_ops: 120,
             max_attempts_factor: 3,
+            use_checkpoint: true,
         };
         let report = run_table1(&cfg, 4);
         let text = render_table1(&report);
@@ -193,5 +228,6 @@ mod tests {
         }
         assert!(text.contains("Total"));
         assert!(text.contains("MTTF"));
+        assert!(text.contains("95% confidence intervals (Wilson)"));
     }
 }

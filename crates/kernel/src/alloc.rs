@@ -199,7 +199,7 @@ mod tests {
         // Fill both; no cross-talk.
         mem.fill(p1, 64, 0xAA);
         mem.fill(p2, 64, 0xBB);
-        assert!(mem.slice(p1, 64).iter().all(|&b| b == 0xAA));
+        assert!(mem.to_vec(p1, 64).iter().all(|&b| b == 0xAA));
     }
 
     #[test]

@@ -573,12 +573,9 @@ impl Kernel {
         if job.total == 0 {
             return Ok(Vec::new());
         }
-        let out = self
-            .machine
-            .bus
-            .mem()
-            .slice(job.staging, job.total as u64)
-            .to_vec();
+        // The staging buffer is a heap kmalloc of up to a whole file: it
+        // can straddle page boundaries, so copy out rather than borrow.
+        let out = self.machine.bus.mem().to_vec(job.staging, job.total as u64);
         self.kfree_traced(job.staging)?;
         Ok(out)
     }

@@ -200,7 +200,10 @@ pub enum SchedStep {
 ///
 /// Exposed as a stepwise object (not just a run loop) so campaigns can
 /// interleave warm-up, injection, and watchdog logic with scheduling.
-#[derive(Debug)]
+/// `Clone` freezes the whole scheduling state — parked continuations,
+/// rotor, trace — which is how the scale campaign checkpoints a warmed
+/// multi-client machine and forks it per trial.
+#[derive(Debug, Clone)]
 pub struct PreemptSched {
     run: Vec<Run>,
     conts: Vec<Option<SyscallCont>>,

@@ -164,7 +164,7 @@ fn corrupted_inode_record_panics_on_lookup() {
     let mut page = bc.start;
     while page < bc.end {
         let probe = page + off as u64;
-        if probe + 4 <= bc.end && k.machine.bus.mem().slice(probe, 4) == magic {
+        if probe + 4 <= bc.end && k.machine.bus.mem().to_vec(probe, 4) == magic {
             k.machine.bus.mem_mut().flip_bit(probe, 1);
             found = true;
             break;

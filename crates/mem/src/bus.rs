@@ -253,7 +253,7 @@ impl MemBus {
         self.check_bounds(addr, buf.len() as u64)?;
         self.stats.loads += 1;
         self.stats.bytes_moved += buf.len() as u64;
-        buf.copy_from_slice(self.mem.slice(addr, buf.len() as u64));
+        self.mem.copy_out(addr, buf);
         Ok(())
     }
 
@@ -318,7 +318,18 @@ impl MemBus {
         if !self.mem.in_bounds(addr, len) {
             return Err(MemFault::BadAddress { addr, len });
         }
-        Ok(crate::checksum::crc32(self.mem.slice(addr, len)))
+        // Stream page-contained pieces: the span may straddle page
+        // boundaries, which a single borrow cannot.
+        let mut state = 0xFFFF_FFFFu32;
+        let (mut addr, mut left) = (addr, len);
+        while left > 0 {
+            let off = addr % PAGE_SIZE as u64;
+            let n = (PAGE_SIZE as u64 - off).min(left);
+            state = crate::checksum::crc32_update(state, self.mem.slice(addr, n));
+            addr += n;
+            left -= n;
+        }
+        Ok(state ^ 0xFFFF_FFFF)
     }
 }
 

@@ -83,6 +83,15 @@ impl Op {
 }
 
 /// The running workload.
+///
+/// `Clone` is the workload half of the crash campaign's checkpoint-fork
+/// engine: the full cursor (model file system, byte budget, `ops_done`,
+/// in-flight target) is plain owned data, so cloning a warmed `MemTest`
+/// alongside a cloned [`Kernel`] freezes the whole steady state. Each
+/// campaign trial then forks that pair and resumes stepping from the
+/// cursor — no re-warmup — and, because every op is a pure function of
+/// `(seed, op index, model state)`, the fork behaves byte-for-byte like a
+/// workload that ran from scratch to the same point.
 #[derive(Debug, Clone)]
 pub struct MemTest {
     cfg: MemTestConfig,

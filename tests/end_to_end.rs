@@ -135,6 +135,7 @@ fn campaign_quick_grid_is_deterministic() {
         warmup_ops: 15,
         watchdog_ops: 100,
         max_attempts_factor: 3,
+        use_checkpoint: true,
     };
     let a = rio::faults::run_campaign_parallel(&cfg, 4);
     let b = rio::faults::run_campaign_parallel(&cfg, 2);
@@ -145,6 +146,26 @@ fn campaign_quick_grid_is_deterministic() {
         assert_eq!(ca.corruptions, cb.corruptions);
         assert_eq!(ca.messages, cb.messages);
     }
+}
+
+#[test]
+fn rendered_table1_is_byte_identical_at_1_and_8_threads() {
+    // The interval-bearing table (counts, MTTF lines, Wilson CI footer)
+    // must not depend on worker count: the checkpoint store is shared
+    // across threads but capture is keyed purely on (system, seed, warmup),
+    // and cells merge in attempt order.
+    let cfg = CampaignConfig {
+        trials_per_cell: 4,
+        seed: 1996,
+        warmup_ops: 20,
+        watchdog_ops: 150,
+        max_attempts_factor: 4,
+        use_checkpoint: true,
+    };
+    let one = rio::harness::render_table1(&rio::harness::run_table1(&cfg, 1));
+    let eight = rio::harness::render_table1(&rio::harness::run_table1(&cfg, 8));
+    assert_eq!(one, eight);
+    assert!(one.contains("95% confidence intervals (Wilson)"));
 }
 
 #[test]
