@@ -31,6 +31,7 @@ pub mod overhead;
 pub mod propagation;
 pub mod recovery;
 pub mod scale;
+pub mod server;
 pub mod table1;
 pub mod table1_scale;
 pub mod table2;
@@ -46,5 +47,9 @@ pub use scale::{
 pub use table1::{render_table1, run_table1, MttfEstimate, Table1Report};
 pub use table1_scale::{
     render_table1_scale, run_table1_scale, ScaleBandCheck, Table1ScaleReport,
+};
+pub use server::{
+    render_server, run_server, run_server_parallel, server_json, ServerCell, ServerGrid,
+    ServerGridReport,
 };
 pub use table2::{render_table2, run_table2, Table2Report, Table2Row};

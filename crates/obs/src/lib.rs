@@ -16,10 +16,12 @@
 //!   function of the trial seed — bit-identical at any thread count and
 //!   replayable forever.
 //! * **Counter/histogram registries** — [`Registry`] holds named
-//!   monotonic counters and power-of-two-bucket [`Histogram`]s with a
-//!   deterministic (sorted-key) iteration order and a commutative,
-//!   associative [`Registry::merge_from`], so per-trial registries folded
-//!   in attempt order reproduce the serial campaign exactly.
+//!   monotonic counters and log-linear-bucket [`Histogram`]s (16
+//!   sub-buckets per power-of-two octave, so percentile estimates carry
+//!   at most 1/16 relative error) with a deterministic (sorted-key)
+//!   iteration order and a commutative, associative
+//!   [`Registry::merge_from`], so per-trial registries folded in attempt
+//!   order reproduce the serial campaign exactly.
 //! * **A thread-local session** — each campaign trial owns one simulated
 //!   machine and runs on one worker thread, so the trace session is
 //!   thread-local: [`start`] opens it, [`finish`] closes it and returns
@@ -170,12 +172,30 @@ pub struct Note {
 // Registry: counters and histograms
 // ---------------------------------------------------------------------
 
-/// A power-of-two-bucket histogram: bucket *i* counts values `v` with
-/// `floor(log2(v)) == i` (value 0 goes to bucket 0). 64 buckets cover
-/// the full `u64` range; recording is branch-light and allocation-free.
+/// Linear sub-buckets per power-of-two octave (16 = 2^[`SUB_BITS`]).
+/// Also the size of the exact low-value region: every value below 16 gets
+/// its own bucket, so 0 and 1 are never conflated.
+const SUB_BUCKETS: usize = 16;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+/// Total bucket count: 16 exact buckets for values `0..=15`, then 16
+/// linear sub-buckets for each of the 60 octaves `2^4 ..= 2^63`.
+const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// A log-linear histogram (HdrHistogram-style): values below
+/// [`SUB_BUCKETS`] get exact unit buckets, and every power-of-two octave
+/// above that is split into [`SUB_BUCKETS`] linear sub-buckets keyed by
+/// the top [`SUB_BITS`] bits after the leading one. Bucket width is
+/// therefore at most `low/16`, which bounds the relative error of any
+/// percentile estimate by **1/16** — the pure power-of-two layout this
+/// replaced was off by up to 2×, exactly where a p999 claim lives.
+///
+/// The bucket array is fixed-size and [`Histogram::record`] never
+/// allocates; [`Histogram::merge_from`] is bucket-wise addition, so merge
+/// results are independent of fold order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; 64],
+    buckets: [u64; BUCKETS],
     count: u64,
     sum: u64,
     max: u64,
@@ -184,7 +204,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; 64],
+            buckets: [0; BUCKETS],
             count: 0,
             sum: 0,
             max: 0,
@@ -193,13 +213,71 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Bucket index for a value: identity below [`SUB_BUCKETS`], else
+    /// log-linear on the leading [`SUB_BITS`] bits after the top one.
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            value as usize
+        } else {
+            let octave = 63 - value.leading_zeros(); // >= SUB_BITS
+            let sub = ((value >> (octave - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+            (octave - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+        }
+    }
+
+    /// Lowest value mapping to bucket `index` (the representative
+    /// percentile estimates report: conservative, never above any sample
+    /// in the bucket).
+    fn bucket_low(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            index as u64
+        } else {
+            let octave = SUB_BITS as usize + (index - SUB_BUCKETS) / SUB_BUCKETS;
+            let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+            ((SUB_BUCKETS + sub) as u64) << (octave - SUB_BITS as usize)
+        }
+    }
+
+    /// Highest value mapping to bucket `index`.
+    #[cfg(test)]
+    fn bucket_high(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            index as u64
+        } else {
+            let octave = SUB_BITS as usize + (index - SUB_BUCKETS) / SUB_BUCKETS;
+            Self::bucket_low(index) + ((1u64 << (octave - SUB_BITS as usize)) - 1)
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = if value == 0 { 0 } else { value.ilog2() as usize };
-        self.buckets[idx] += 1;
+        self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
+    }
+
+    /// Picks `frac` (clamped to `0.0..=1.0`) of the way through the
+    /// recorded sample, following the workspace percentile convention
+    /// (`rio_det::stats::percentile`: rank `floor((count-1)·frac)`).
+    /// Returns the lower bound of the bucket holding that rank — at most
+    /// 1/16 below the true sample value, and never above it. 0 when
+    /// empty; a histogram of all-zero samples reports 0 at every
+    /// percentile (value 0 owns its bucket).
+    pub fn percentile(&self, frac: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let frac = frac.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * frac) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bucket_low(i);
+            }
+        }
+        self.max
     }
 
     /// Samples recorded.
@@ -591,6 +669,126 @@ mod tests {
         assert_eq!(t.dropped, 6);
         let times: Vec<u64> = t.events.iter().map(|e| e.sim_ns).collect();
         assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn histogram_zero_owns_its_bucket() {
+        // Regression: the power-of-two layout conflated 0 and 1 into
+        // bucket 0, so an all-zero histogram reported a nonzero
+        // percentile. Zero now has an exact bucket of its own.
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(0);
+        }
+        for frac in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(frac), 0, "all-zero sample at p{frac}");
+        }
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 1);
+        assert_ne!(
+            Histogram::bucket_index(0),
+            Histogram::bucket_index(1),
+            "0 and 1 must not share a bucket"
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Boundary pins at 0, 1, 2^k-1, 2^k across the whole range: every
+        // value lands in a bucket whose [low, high] range contains it,
+        // and the bucket edges line up with the power-of-two boundaries.
+        let mut values = vec![0u64, 1];
+        for k in 1..64u32 {
+            values.push((1u64 << k) - 1);
+            values.push(1u64 << k);
+        }
+        values.push(u64::MAX);
+        for &v in &values {
+            let i = Histogram::bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let lo = Histogram::bucket_low(i);
+            let hi = Histogram::bucket_high(i);
+            assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+        }
+        // Values below SUB_BUCKETS are exact.
+        for v in 0..SUB_BUCKETS as u64 {
+            let i = Histogram::bucket_index(v);
+            assert_eq!(Histogram::bucket_low(i), v);
+            assert_eq!(Histogram::bucket_high(i), v);
+        }
+        // Bucket index is monotone in the value.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(Histogram::bucket_index(w[0]) <= Histogram::bucket_index(w[1]));
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_relative_error_at_most_one_sixteenth() {
+        // The headline accuracy regression: for any single value v, the
+        // reported percentile p satisfies p <= v and (v - p)/v <= 1/16.
+        // The old power-of-two layout was off by up to 2x (e.g. 1023
+        // reported as 512).
+        let mut probes: Vec<u64> = vec![1, 2, 3, 15, 16, 17, 100, 1000, 1023, 1024, 1025];
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            probes.push(v);
+            probes.push(v.saturating_add(v / 3));
+            v = v.saturating_mul(2);
+        }
+        probes.push(u64::MAX);
+        for &v in &probes {
+            let mut h = Histogram::default();
+            h.record(v);
+            let p = h.percentile(0.5);
+            assert!(p <= v, "estimate {p} above sample {v}");
+            let err = u128::from(v - p) * 16;
+            assert!(
+                err <= u128::from(v),
+                "relative error above 1/16 for {v}: estimate {p}"
+            );
+        }
+        // Old layout's poster child: 1023 must no longer collapse to 512.
+        let mut h = Histogram::default();
+        h.record(1023);
+        assert!(h.percentile(0.5) >= 960, "got {}", h.percentile(0.5));
+    }
+
+    #[test]
+    fn histogram_percentiles_follow_workspace_convention() {
+        // Dense integer sample 1..=1000: ranks follow
+        // floor((count-1)*frac), estimates stay within 1/16 below the
+        // exact order statistic.
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (frac, exact) in [(0.0, 1u64), (0.5, 500), (0.99, 990), (0.999, 999), (1.0, 1000)] {
+            let p = h.percentile(frac);
+            assert!(p <= exact, "p{frac}: {p} > exact {exact}");
+            assert!(
+                (exact - p) * 16 <= exact,
+                "p{frac}: estimate {p} more than 1/16 below {exact}"
+            );
+        }
+        // Merging two halves reproduces the percentile of the whole.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in 1..=1000u64 {
+            if v.is_multiple_of(2) {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge_from(&b);
+        for frac in [0.5, 0.99, 0.999] {
+            assert_eq!(a.percentile(frac), h.percentile(frac));
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod memtest;
 pub mod model;
 pub mod scale;
 pub mod sdet;
+pub mod server;
 
 pub use andrew::{Andrew, AndrewConfig, AndrewReport};
 pub use cprm::{CpRm, CpRmConfig, CpRmReport};
@@ -33,3 +34,4 @@ pub use memtest::{MemTest, MemTestConfig, PreemptMemTest};
 pub use model::{ModelFs, VerifyReport};
 pub use scale::{Scale, ScaleConfig, ScaleReport};
 pub use sdet::{Sdet, SdetConfig, SdetReport};
+pub use server::{Server, ServerConfig, ServerReport};

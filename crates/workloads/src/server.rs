@@ -1,0 +1,517 @@
+//! The open-loop file-server workload behind `results_server.txt`.
+//!
+//! The scale exhibit answered "how much work per second"; this one
+//! answers the production question: **what latency does a request see**,
+//! and especially the p99/p999 tail, when traffic arrives on its own
+//! clock instead of waiting for the previous request to finish. Each of
+//! N clients is an independent connection issuing requests at seeded
+//! open-loop arrival times — a Poisson process whose rate is modulated
+//! by deterministic bursty phases — against a shared population of key
+//! files with Zipf hot/cold skew. A request is a short syscall chain
+//! (`open` → `pread`/`pwrite` → optional `fsync` → `close`) driven
+//! through [`rio_kernel::PreemptSched`], so requests block mid-syscall,
+//! contend for real kernel locks, and overlap disk waits exactly as the
+//! preemptive kernel schedules them.
+//!
+//! Latency is measured from the request's *scheduled arrival* to the
+//! completion of its final syscall (including trailing fsync drain), so
+//! a client that falls behind accumulates queueing delay — the open-loop
+//! property that exposes tail collapse. Per-class latencies go into
+//! [`rio_obs::Histogram`]s (log-linear buckets, ≤ 1/16 relative error —
+//! see the obs crate docs), merged across clients in client order.
+
+use crate::datagen;
+use rio_det::{derive_seed, derive_seed3, DetRng};
+use rio_disk::SimTime;
+use rio_kernel::{
+    Fd, Kernel, KernelError, PreemptClient, PreemptSched, SchedStep, SyscallOp, SyscallRet,
+};
+use rio_obs::Histogram;
+use std::sync::Arc;
+
+/// Server-workload parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Seed (drives arrivals, op mix, key skew, and the scheduler rotor).
+    pub seed: u64,
+    /// Root directory for the key population.
+    pub root: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Open-loop requests per client.
+    pub requests_per_client: usize,
+    /// Pre-created key files shared by every client.
+    pub keys: usize,
+    /// Bytes per key file (requests read/write within this).
+    pub key_bytes: usize,
+    /// Zipf skew exponent for key popularity (1.0–1.3 is web-like).
+    pub zipf_s: f64,
+    /// Mean per-client inter-arrival time at rate multiplier 1, µs.
+    pub mean_interarrival_us: u64,
+    /// Length of one burst phase, µs.
+    pub burst_phase_us: u64,
+    /// Arrival-rate multiplier inside a burst phase.
+    pub burst_mult: f64,
+    /// Percentage of phases that are bursts.
+    pub burst_duty_pct: u64,
+    /// Percentage of requests that are reads.
+    pub read_pct: u64,
+    /// Percentage of requests that are plain writes (the remainder are
+    /// commits: write + `fsync`).
+    pub write_pct: u64,
+    /// Bytes transferred per request.
+    pub io_bytes: usize,
+}
+
+impl ServerConfig {
+    /// Bench-grid default: 16 requests/client against 128 × 8 KB keys,
+    /// 60/30/10 read/write/commit, 2 s mean think time per connection
+    /// with 8× bursts 30% of the time.
+    ///
+    /// The think time is chosen against the simulated machine's measured
+    /// request-service capacity (~900 req/s CPU-bound, ~330 req/s for
+    /// write-through): at 1024 clients the offered load is ~512 req/s —
+    /// comfortably under memory-speed capacity, decisively *over*
+    /// write-through's, which is exactly the regime where an open-loop
+    /// tail separates the systems instead of everyone drowning alike.
+    pub fn small(seed: u64, clients: usize) -> Self {
+        ServerConfig {
+            seed,
+            root: "/srv".to_owned(),
+            clients,
+            requests_per_client: 16,
+            keys: 128,
+            key_bytes: 8 * 1024,
+            zipf_s: 1.1,
+            mean_interarrival_us: 4_000_000,
+            burst_phase_us: 500_000,
+            burst_mult: 8.0,
+            burst_duty_pct: 30,
+            read_pct: 60,
+            write_pct: 30,
+            io_bytes: 1024,
+        }
+    }
+}
+
+/// Result of a run: per-class latency histograms plus scheduler
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Wall time from the first arrival to the last completion.
+    pub total: SimTime,
+    /// Requests completed (= clients × requests_per_client).
+    pub requests: u64,
+    /// Latency of read requests, µs.
+    pub read: Histogram,
+    /// Latency of plain-write requests, µs.
+    pub write: Histogram,
+    /// Latency of commit requests (write + fsync), µs.
+    pub commit: Histogram,
+    /// Scheduler idle hops (whole fleet blocked on disk).
+    pub idle_hops: u64,
+    /// Scheduler quanta executed.
+    pub quanta: u64,
+}
+
+impl ServerReport {
+    /// Completed requests per simulated second.
+    pub fn requests_per_sec(&self) -> f64 {
+        let us = self.total.as_micros().max(1);
+        self.requests as f64 * 1e6 / us as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Read,
+    Write,
+    Commit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Open,
+    Io,
+    Fsync,
+    Close,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    kind: ReqKind,
+    fd: Option<Fd>,
+    arrival: SimTime,
+    issued: Step,
+}
+
+struct ServerClient {
+    uid: usize,
+    seed: u64,
+    root: String,
+    rng: DetRng,
+    /// Precomputed absolute arrival times, one per request.
+    arrivals: Vec<SimTime>,
+    zipf_cdf: Arc<Vec<f64>>,
+    key_bytes: usize,
+    io_bytes: usize,
+    read_pct: u64,
+    write_pct: u64,
+    req: usize,
+    cur: Option<InFlight>,
+    read: Histogram,
+    write: Histogram,
+    commit: Histogram,
+}
+
+/// Stream tags for seed derivation (arbitrary distinct constants).
+const STREAM_ARRIVALS: u64 = 0x5253_5256_4152_5256; // "RSRVARRV"
+const STREAM_OPMIX: u64 = 0x5253_5256_4F50_4D58; // "RSRVOPMX"
+const STREAM_BURST: u64 = 0x5253_5256_4255_5253; // "RSRVBURS"
+
+impl ServerClient {
+    #[allow(clippy::too_many_arguments)]
+    fn new(cfg: &ServerConfig, uid: usize, base: SimTime, zipf_cdf: Arc<Vec<f64>>) -> Self {
+        ServerClient {
+            uid,
+            seed: cfg.seed,
+            root: cfg.root.clone(),
+            rng: DetRng::seed_from_u64(derive_seed3(cfg.seed, STREAM_OPMIX, uid as u64, 0)),
+            arrivals: arrivals(cfg, uid, base),
+            zipf_cdf,
+            key_bytes: cfg.key_bytes,
+            io_bytes: cfg.io_bytes,
+            read_pct: cfg.read_pct,
+            write_pct: cfg.write_pct,
+            req: 0,
+            cur: None,
+            read: Histogram::default(),
+            write: Histogram::default(),
+            commit: Histogram::default(),
+        }
+    }
+
+    fn draw_kind(&mut self) -> ReqKind {
+        let r = self.rng.gen_range(0..100u64);
+        if r < self.read_pct {
+            ReqKind::Read
+        } else if r < self.read_pct + self.write_pct {
+            ReqKind::Write
+        } else {
+            ReqKind::Commit
+        }
+    }
+
+    fn draw_key(&mut self) -> usize {
+        let u = self.rng.gen_f64();
+        self.zipf_cdf.partition_point(|&c| c < u)
+    }
+
+    fn hist_mut(&mut self, kind: ReqKind) -> &mut Histogram {
+        match kind {
+            ReqKind::Read => &mut self.read,
+            ReqKind::Write => &mut self.write,
+            ReqKind::Commit => &mut self.commit,
+        }
+    }
+}
+
+impl PreemptClient for ServerClient {
+    fn next_op(&mut self, prev: Option<&SyscallRet>) -> Option<SyscallOp> {
+        match &mut self.cur {
+            None => {
+                let arrival = *self.arrivals.get(self.req)?;
+                self.req += 1;
+                let kind = self.draw_kind();
+                let key = self.draw_key();
+                self.cur = Some(InFlight {
+                    kind,
+                    fd: None,
+                    arrival,
+                    issued: Step::Open,
+                });
+                Some(SyscallOp::Open(format!("{}/k{key}", self.root)))
+            }
+            Some(cur) => {
+                let prev = prev.expect("server request ops must not fail");
+                match cur.issued {
+                    Step::Open => {
+                        let SyscallRet::Fd(fd) = *prev else {
+                            panic!("open returned {prev:?}");
+                        };
+                        cur.fd = Some(fd);
+                        cur.issued = Step::Io;
+                        let span = (self.key_bytes - self.io_bytes) as u64;
+                        let offset = self.rng.gen_range(0..=span);
+                        match cur.kind {
+                            ReqKind::Read => Some(SyscallOp::Pread {
+                                fd,
+                                offset,
+                                len: self.io_bytes,
+                            }),
+                            ReqKind::Write | ReqKind::Commit => {
+                                let tag = ((self.uid as u64) << 24) | self.req as u64;
+                                Some(SyscallOp::Pwrite {
+                                    fd,
+                                    offset,
+                                    data: datagen::bytes(self.seed, tag, self.io_bytes),
+                                })
+                            }
+                        }
+                    }
+                    Step::Io => {
+                        let fd = cur.fd.expect("fd set after open");
+                        if cur.kind == ReqKind::Commit {
+                            cur.issued = Step::Fsync;
+                            Some(SyscallOp::Fsync(fd))
+                        } else {
+                            cur.issued = Step::Close;
+                            Some(SyscallOp::Close(fd))
+                        }
+                    }
+                    Step::Fsync => {
+                        cur.issued = Step::Close;
+                        Some(SyscallOp::Close(cur.fd.expect("fd set after open")))
+                    }
+                    Step::Close => unreachable!("request ended in op_completed"),
+                }
+            }
+        }
+    }
+
+    fn next_op_at(&mut self) -> Option<SimTime> {
+        if self.cur.is_some() {
+            // Mid-request: the next syscall is ready immediately.
+            None
+        } else {
+            // Between requests: parked until the next open-loop arrival.
+            // A past arrival (the client fell behind) means ready now —
+            // the backlog wait lands in the request's measured latency.
+            self.arrivals.get(self.req).copied()
+        }
+    }
+
+    fn op_completed(&mut self, _ret: &SyscallRet, at: SimTime) {
+        let Some(cur) = &self.cur else { return };
+        if cur.issued == Step::Close {
+            let lat = at.saturating_sub(cur.arrival).as_micros();
+            let kind = cur.kind;
+            self.cur = None;
+            self.hist_mut(kind).record(lat);
+        }
+    }
+}
+
+/// Precomputed Poisson arrivals with bursty phase modulation: phase `p`
+/// (a `burst_phase_us` window) is a burst iff a pure function of
+/// `(seed, p)` says so, and inter-arrival draws are exponential with the
+/// phase's rate. Every client sees the same phase schedule but its own
+/// arrival stream.
+fn arrivals(cfg: &ServerConfig, uid: usize, base: SimTime) -> Vec<SimTime> {
+    let mut rng = DetRng::seed_from_u64(derive_seed3(cfg.seed, STREAM_ARRIVALS, uid as u64, 0));
+    let mut t_us = 0.0f64;
+    (0..cfg.requests_per_client)
+        .map(|_| {
+            let phase = t_us as u64 / cfg.burst_phase_us.max(1);
+            let burst =
+                derive_seed(derive_seed(cfg.seed, STREAM_BURST), phase) % 100 < cfg.burst_duty_pct;
+            let mult = if burst { cfg.burst_mult } else { 1.0 };
+            let u = rng.gen_f64();
+            let dt = -(1.0 - u).ln() * cfg.mean_interarrival_us as f64 / mult;
+            t_us += dt.max(1.0);
+            base + SimTime::from_micros(t_us as u64)
+        })
+        .collect()
+}
+
+/// Normalized Zipf CDF over `keys` ranks with exponent `s`.
+fn zipf_cdf(keys: usize, s: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..keys).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    // Guard against floating-point shortfall at the top rank.
+    if let Some(last) = weights.last_mut() {
+        *last = 1.0;
+    }
+    weights
+}
+
+/// The workload runner.
+#[derive(Debug, Clone)]
+pub struct Server {
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// A runner for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_bytes > key_bytes` or the op mix exceeds 100%.
+    pub fn new(cfg: ServerConfig) -> Self {
+        assert!(cfg.io_bytes <= cfg.key_bytes, "io_bytes exceeds key size");
+        assert!(cfg.read_pct + cfg.write_pct <= 100, "op mix exceeds 100%");
+        assert!(cfg.keys > 0 && cfg.clients > 0);
+        Server { cfg }
+    }
+
+    /// Runs the open-loop fleet to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (request-level syscalls are expected to
+    /// succeed — the key population is pre-created).
+    pub fn run(&self, k: &mut Kernel) -> Result<ServerReport, KernelError> {
+        self.run_opts(k, false)
+    }
+
+    /// [`Server::run`] with the scheduler's linear-scan cross-check
+    /// enabled (regression tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn run_opts(&self, k: &mut Kernel, cross_check: bool) -> Result<ServerReport, KernelError> {
+        let cfg = &self.cfg;
+        // Key population: pre-created and fsynced so every policy starts
+        // from a drained queue and no request ever creates a file.
+        k.mkdir(&cfg.root)?;
+        for i in 0..cfg.keys {
+            let fd = k.create(&format!("{}/k{i}", cfg.root))?;
+            let tag = 0x4B45_5900 | i as u64; // "KEY"
+            k.write(fd, &datagen::bytes(cfg.seed, tag, cfg.key_bytes))?;
+            k.fsync(fd)?;
+            k.close(fd)?;
+        }
+        let base = k.machine.clock.now();
+        let cdf = Arc::new(zipf_cdf(cfg.keys, cfg.zipf_s));
+        let mut clients: Vec<ServerClient> = (0..cfg.clients)
+            .map(|uid| ServerClient::new(cfg, uid, base, Arc::clone(&cdf)))
+            .collect();
+        let mut sched = PreemptSched::new(cfg.clients, cfg.seed, true);
+        sched.set_cross_check(cross_check);
+        {
+            let mut streams: Vec<&mut dyn PreemptClient> = clients
+                .iter_mut()
+                .map(|c| c as &mut dyn PreemptClient)
+                .collect();
+            while !matches!(sched.step_once(k, &mut streams)?, SchedStep::Done) {}
+        }
+        let mut read = Histogram::default();
+        let mut write = Histogram::default();
+        let mut commit = Histogram::default();
+        for c in &clients {
+            read.merge_from(&c.read);
+            write.merge_from(&c.write);
+            commit.merge_from(&c.commit);
+        }
+        Ok(ServerReport {
+            total: k.machine.clock.now().saturating_sub(base),
+            requests: read.count() + write.count() + commit.count(),
+            read,
+            write,
+            commit,
+            idle_hops: sched.trace.idle_hops,
+            quanta: sched.trace.quanta.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_core::RioMode;
+    use rio_kernel::{KernelConfig, Policy};
+
+    fn kernel(policy: Policy) -> Kernel {
+        Kernel::mkfs_and_mount(&KernelConfig::small(policy)).unwrap()
+    }
+
+    fn tiny(seed: u64, clients: usize) -> ServerConfig {
+        ServerConfig {
+            requests_per_client: 6,
+            keys: 16,
+            key_bytes: 4096,
+            io_bytes: 512,
+            mean_interarrival_us: 1_000,
+            ..ServerConfig::small(seed, clients)
+        }
+    }
+
+    #[test]
+    fn server_completes_every_request_and_is_deterministic() {
+        let run = || {
+            let mut k = kernel(Policy::rio(RioMode::Protected));
+            let r = Server::new(tiny(3, 8)).run(&mut k).unwrap();
+            (
+                r.total,
+                r.requests,
+                r.read.count(),
+                r.write.count(),
+                r.commit.count(),
+                r.read.percentile(0.99),
+                r.commit.percentile(0.999),
+            )
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed, same tail");
+        assert_eq!(first.1, 8 * 6, "every request completes");
+        assert!(first.2 > 0, "read class populated");
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_open_loop() {
+        let cfg = ServerConfig::small(7, 4);
+        let a = arrivals(&cfg, 0, SimTime::ZERO);
+        assert_eq!(a.len(), cfg.requests_per_client);
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1], "arrivals must be monotone");
+        }
+        // Different clients get different streams.
+        assert_ne!(a, arrivals(&cfg, 1, SimTime::ZERO));
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(64, 1.1);
+        assert_eq!(cdf.len(), 64);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 1.0);
+        // Rank 0 is hot: it alone carries > 15% of the mass.
+        assert!(cdf[0] > 0.15, "zipf head too light: {}", cdf[0]);
+    }
+
+    #[test]
+    fn commit_latency_dominates_read_latency_on_write_through() {
+        let mut k = kernel(Policy::disk_write_through());
+        let r = Server::new(tiny(11, 8)).run(&mut k).unwrap();
+        assert!(r.commit.count() > 0);
+        assert!(
+            r.commit.percentile(0.5) >= r.read.percentile(0.5),
+            "synchronous commits cannot be faster than cached reads"
+        );
+    }
+
+    #[test]
+    fn indexed_sched_matches_linear_scan_at_1024_clients() {
+        // The tentpole's regression gate at scale: every pick the indexed
+        // ready set + wake heap makes for a 1024-client open-loop fleet
+        // is re-derived with the old O(n) rotor scan and asserted equal
+        // (see PreemptSched::set_cross_check).
+        let cfg = ServerConfig {
+            requests_per_client: 2,
+            keys: 32,
+            key_bytes: 4096,
+            io_bytes: 256,
+            mean_interarrival_us: 500,
+            ..ServerConfig::small(13, 1024)
+        };
+        let mut k = kernel(Policy::rio(RioMode::Protected));
+        let r = Server::new(cfg).run_opts(&mut k, true).unwrap();
+        assert_eq!(r.requests, 2048, "every request completes at 1024 clients");
+    }
+}

@@ -77,6 +77,24 @@ grep -q 'disk-like band' "$t1s_a"
 grep -q 'mean in-flight syscalls' "$t1s_a"
 rm -f "$t1s_a" "$t1s_b"
 
+echo "== open-loop server smoke (RIO_CLIENTS=8,32, RIO_THREADS=1 vs 8) =="
+srv_a="$(mktemp)"
+srv_b="$(mktemp)"
+srv_ja="$(mktemp)"
+srv_jb="$(mktemp)"
+RIO_CLIENTS=8,32 RIO_REQUESTS=6 RIO_THREADS=1 RIO_BENCH_JSON="$srv_ja" \
+    cargo run -q --release -p rio-bench --bin server > "$srv_a"
+RIO_CLIENTS=8,32 RIO_REQUESTS=6 RIO_THREADS=8 RIO_BENCH_JSON="$srv_jb" \
+    cargo run -q --release -p rio-bench --bin server > "$srv_b"
+cmp "$srv_a" "$srv_b"
+cmp "$srv_ja" "$srv_jb"
+grep -q 'Rio p999 advantage' "$srv_a"
+# The measuring instrument itself: the bin records a known distribution
+# and asserts every probed percentile lands within the log-linear
+# histogram's 1/16 design bound before any grid work runs.
+grep -q 'histogram self-check: worst percentile error .* (bound 0.0625) OK' "$srv_a"
+rm -f "$srv_a" "$srv_b" "$srv_ja" "$srv_jb"
+
 echo "== smoke write benchmark (RIO_BENCH_ITERS=5) =="
 smoke_json="$(mktemp)"
 RIO_BENCH_ITERS=5 RIO_BENCH_WARMUP=1 RIO_BENCH_JSON="$smoke_json" \
